@@ -1,0 +1,248 @@
+(* loopartc - the command-line front end of the partitioner: the
+   OCaml analogue of the Alewife compiler pipeline of Figure 10.
+
+   Subcommands:
+     list               enumerate the built-in program gallery
+     show NAME          print a program in Doall pseudo-code
+     analyze NAME|FILE  classify references, print footprint polynomials
+                        and the chosen partition
+     simulate NAME|FILE run the chosen partition on the simulated machine
+     codegen NAME|FILE  print the generated SPMD loop structure *)
+
+open Cmdliner
+
+let load source =
+  match Loopart.Programs.find source with
+  | Some nest -> nest
+  | None ->
+      if Sys.file_exists source then begin
+        let ic = open_in source in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Loopir.Parse.nest_of_string ~name:(Filename.basename source) s
+      end
+      else
+        raise
+          (Loopir.Parse.Parse_error
+             (Printf.sprintf
+                "%S is neither a gallery program nor a readable file (try \
+                 'loopartc list')"
+                source))
+
+let source_arg =
+  let doc =
+    "Program to process: a gallery name (see $(b,list)) or a path to a file \
+     in the Doall surface syntax."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let nprocs_arg =
+  let doc = "Number of processors to partition for." in
+  Arg.(value & opt int 16 & info [ "p"; "processors" ] ~docv:"P" ~doc)
+
+let skewed_arg =
+  let doc = "Also try general parallelepiped (skewed) tiles." in
+  Arg.(value & flag & info [ "skewed" ] ~doc)
+
+let wrap f = try Ok (f ()) with
+  | Loopir.Parse.Parse_error msg -> Error (`Msg msg)
+  | Invalid_argument msg -> Error (`Msg msg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, nest) ->
+        Format.printf "%-18s %d-deep doall over %s iterations%s@." name
+          (Loopir.Nest.nesting nest)
+          (String.concat "x"
+             (List.map string_of_int
+                (Array.to_list (Loopir.Nest.extents nest))))
+          (match nest.Loopir.Nest.seq with
+          | Some s ->
+              Printf.sprintf " (doseq %s: %d steps)" s.Loopir.Nest.var
+                (s.Loopir.Nest.upper - s.Loopir.Nest.lower + 1)
+          | None -> ""))
+      Loopart.Programs.all;
+    Ok ()
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in program gallery")
+    Term.(term_result (const run $ const ()))
+
+let show_cmd =
+  let run source =
+    wrap (fun () -> Format.printf "%a@." Loopir.Nest.pp (load source))
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a program in Doall pseudo-code")
+    Term.(term_result (const run $ source_arg))
+
+let analyze_cmd =
+  let run source nprocs skewed =
+    wrap (fun () ->
+        let nest = load source in
+        let a = Loopart.Driver.analyze ~try_skewed:skewed ~nprocs nest in
+        Format.printf "%a@." Loopart.Driver.report a)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Classify references, print footprint polynomials, partition, and \
+          compare against the baselines")
+    Term.(term_result (const run $ source_arg $ nprocs_arg $ skewed_arg))
+
+let simulate_cmd =
+  let aligned_arg =
+    let doc =
+      "Distributed-memory run: 2-D mesh with loop-tile-aligned placement."
+    in
+    Arg.(value & flag & info [ "aligned" ] ~doc)
+  in
+  let run source nprocs skewed aligned =
+    wrap (fun () ->
+        let nest = load source in
+        let a = Loopart.Driver.analyze ~try_skewed:skewed ~nprocs nest in
+        let tile = Loopart.Driver.best_tile a in
+        Format.printf "partition: %a@." Partition.Tile.pp tile;
+        let r =
+          if aligned then Loopart.Driver.simulate_aligned ~tile a
+          else Loopart.Driver.simulate ~tile a
+        in
+        Format.printf "%a@." Machine.Sim.pp_result r)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute the chosen partition on the simulated multiprocessor")
+    Term.(
+      term_result
+        (const run $ source_arg $ nprocs_arg $ skewed_arg $ aligned_arg))
+
+let codegen_cmd =
+  let run source nprocs =
+    wrap (fun () ->
+        let nest = load source in
+        let a = Loopart.Driver.analyze ~nprocs nest in
+        let sched = Loopart.Driver.schedule a in
+        print_string (Partition.Codegen.emit_pseudocode sched);
+        let mn, mx, imb = Partition.Codegen.load_balance sched in
+        Format.printf "load: min %d, max %d iterations/proc (imbalance %.3f)@."
+          mn mx imb)
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Print the generated SPMD loop structure")
+    Term.(term_result (const run $ source_arg $ nprocs_arg))
+
+let evaluate_cmd =
+  let run source nprocs =
+    wrap (fun () ->
+        let nest = load source in
+        let a = Loopart.Driver.analyze ~nprocs nest in
+        let cost = a.Loopart.Driver.cost in
+        let params = Machine.Timing.alewife_like in
+        Format.printf "latency model: %a@.@." Machine.Timing.pp_params params;
+        Format.printf "%-28s %14s %14s %14s@." "partition" "misses"
+          "net hops" "est. cycles";
+        let extents = Loopir.Nest.extents nest in
+        let l = Array.length extents in
+        let slab k =
+          Array.mapi
+            (fun k' x -> if k' = k then max 1 (x / max 1 nprocs) else x)
+            extents
+        in
+        let chosen = a.Loopart.Driver.rect.Partition.Rectangular.tile in
+        let candidates =
+          (Printf.sprintf "optimized %s" (Partition.Tile.to_string chosen),
+           chosen)
+          :: List.map
+               (fun k -> (Printf.sprintf "slab along dim %d" k,
+                          Partition.Tile.rect (slab k)))
+               (List.init l Fun.id)
+        in
+        List.iter
+          (fun (name, tile) ->
+            let sched = Partition.Codegen.make nest tile ~nprocs in
+            let placement = Partition.Data_partition.aligned sched cost in
+            let r =
+              Machine.Sim.run sched
+                {
+                  Machine.Sim.default with
+                  Machine.Sim.topology = Machine.Sim.Mesh2d;
+                  placement = Some placement;
+                }
+            in
+            Format.printf "%-28s %14d %14d %14.0f@." name
+              r.Machine.Sim.stats.Machine.Stats.misses
+              r.Machine.Sim.stats.Machine.Stats.network_hops
+              (Machine.Timing.cycles r.Machine.Sim.stats ~nprocs params))
+          candidates)
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:
+         "Estimate end-to-end execution time of the chosen partition \
+          against naive slab partitions (simulated mesh + latency model)")
+    Term.(term_result (const run $ source_arg $ nprocs_arg))
+
+let sweep_cmd =
+  let simulate_arg =
+    let doc = "Also simulate each candidate (slower)." in
+    Arg.(value & flag & info [ "simulate" ] ~doc)
+  in
+  let run source nprocs do_sim =
+    wrap (fun () ->
+        let nest = load source in
+        let cost = Partition.Cost.of_nest nest in
+        let extents = Loopir.Nest.extents nest in
+        let l = Array.length extents in
+        let grids =
+          List.filter
+            (fun fs ->
+              List.for_all2 (fun p n -> p <= n) fs (Array.to_list extents))
+            (Intmath.Int_math.factorizations l nprocs)
+        in
+        Format.printf "%-16s %-16s %12s %12s%s@." "grid" "tile" "pred miss"
+          "objective"
+          (if do_sim then "      sim miss" else "");
+        List.iter
+          (fun grid ->
+            let sizes =
+              Array.of_list
+                (List.mapi
+                   (fun k p -> Intmath.Int_math.ceil_div extents.(k) p)
+                   grid)
+            in
+            let tile = Partition.Tile.rect sizes in
+            let pred = Partition.Cost.misses_per_tile cost tile in
+            let obj =
+              Partition.Cost.eval_objective cost
+                (Array.map float_of_int sizes)
+            in
+            let sim_txt =
+              if do_sim then
+                let sched = Partition.Codegen.make nest tile ~nprocs in
+                let r = Machine.Sim.run sched Machine.Sim.default in
+                Printf.sprintf " %13d" r.Machine.Sim.stats.Machine.Stats.misses
+              else ""
+            in
+            Format.printf "%-16s %-16s %12d %12.0f%s@."
+              (String.concat "x" (List.map string_of_int grid))
+              (String.concat "x"
+                 (List.map string_of_int (Array.to_list sizes)))
+              pred obj sim_txt)
+          grids)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Enumerate every feasible processor grid and print the predicted \
+          cost of each tile shape (optionally simulating them)")
+    Term.(term_result (const run $ source_arg $ nprocs_arg $ simulate_arg))
+
+let main =
+  let doc =
+    "automatic partitioning of parallel loops for cache-coherent \
+     multiprocessors (Agarwal, Kranz & Natarajan, ICPP 1993)"
+  in
+  Cmd.group (Cmd.info "loopartc" ~version:"1.0.0" ~doc)
+    [ list_cmd; show_cmd; analyze_cmd; simulate_cmd; codegen_cmd; evaluate_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,59 @@
+(* Matrix multiply with fine-grain synchronization (Appendix A).
+
+   Run:  dune exec examples/matmul.exe
+
+   The introduction's motivating claim: distributing the iteration space
+   by square blocks reuses far more cached data than distributing by rows
+   or columns.  This example quantifies the claim analytically (cumulative
+   footprints) and on the simulated machine, including the atomic
+   accumulates into C and NUMA data placement. *)
+
+open Partition
+open Machine
+
+let n = 24
+let nprocs = 16
+
+let () =
+  let nest = Loopart.Programs.matmul ~n () in
+  Format.printf "%a@." Loopir.Nest.pp nest;
+  let cost = Cost.of_nest nest in
+
+  (* Candidate distributions of the (i,j,k) iteration space.  The k
+     dimension is kept whole (it is the reduction direction). *)
+  let candidates =
+    [
+      ("rows      (i split)", Tile.rect [| n / nprocs; n; n |]);
+      ("columns   (j split)", Tile.rect [| n; n / nprocs; n |]);
+      ( "blocks    (i,j split)",
+        Tile.rect [| n / 4; n / 4; n |] );
+    ]
+  in
+  Format.printf "%-24s %14s %14s %14s %12s@." "partition" "misses(pred)"
+    "misses(sim)" "invalidations" "hops";
+  List.iter
+    (fun (name, tile) ->
+      let predicted = Cost.misses_per_tile cost tile * nprocs in
+      let sched = Codegen.make nest tile ~nprocs in
+      let placement = Data_partition.aligned sched cost in
+      let cfg =
+        {
+          Sim.default with
+          Sim.topology = Sim.Mesh2d;
+          placement = Some placement;
+        }
+      in
+      let r = Sim.run sched cfg in
+      Format.printf "%-24s %14d %14d %14d %12d@." name predicted
+        r.Sim.stats.Stats.misses r.Sim.stats.Stats.invalidations
+        r.Sim.stats.Stats.network_hops)
+    candidates;
+
+  Format.printf
+    "@.Square blocks touch O(N^2/sqrt(P)) data per processor instead of \
+     O(N^2): they win on every metric.@.";
+
+  (* The partitioner reaches the same conclusion on its own. *)
+  let a = Loopart.Driver.analyze ~nprocs nest in
+  Format.printf "partitioner's choice: %s@."
+    (Tile.to_string a.Loopart.Driver.rect.Rectangular.tile)

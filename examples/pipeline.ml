@@ -1,0 +1,68 @@
+(* The full compiler pipeline of Figure 10, end to end, starting from
+   surface syntax (standing in for Mul-T / Semi-C):
+
+     source -> parse -> classify (WAIF-CG analysis) -> loop partitioning
+            -> data partitioning & alignment -> placement -> codegen
+            -> (simulated) machine -> execution-time estimate
+
+   Run:  dune exec examples/pipeline.exe *)
+
+let source =
+  "# red-black-free in-place relaxation, strided to touch odd points\n\
+   doseq t = 1 to 3\n\
+   doall i = 2 to 64\n\
+   doall j = 2 to 64\n\
+   A[i,j] = A[i-1,j] + A[i+1,j] + A[i,j-1] + A[i,j+1]\n"
+
+let nprocs = 16
+
+let () =
+  (* Front end. *)
+  let nest = Loopir.Parse.nest_of_string ~name:"pipeline" source in
+  Format.printf "--- parsed program ---@.%a@." Loopir.Nest.pp nest;
+
+  (* Analysis + loop partitioning. *)
+  let a = Loopart.Driver.analyze ~nprocs nest in
+  let tile = a.Loopart.Driver.rect.Partition.Rectangular.tile in
+  Format.printf "--- loop partitioning ---@.%a@.@."
+    Partition.Rectangular.pp_result a.Loopart.Driver.rect;
+
+  (* Data partitioning & alignment (Section 4 middle phase). *)
+  let sched = Loopart.Driver.schedule a in
+  let placement = Partition.Data_partition.aligned sched a.Loopart.Driver.cost in
+  Format.printf "--- data partitioning ---@.%s@."
+    placement.Partition.Data_partition.description;
+  Format.printf "data ratio (footnote 2, a+): (%s)@.@."
+    (String.concat ", "
+       (List.map (Printf.sprintf "%.1f")
+          (Array.to_list
+             (Partition.Data_partition.optimal_data_ratio
+                a.Loopart.Driver.cost ~nprocs))));
+
+  (* Placement (Section 4 last phase). *)
+  let mesh = Machine.Mesh.mesh ~nprocs in
+  let grid = a.Loopart.Driver.rect.Partition.Rectangular.grid in
+  let strategy, _, hops = Machine.Placement_map.best ~grid ~mesh in
+  Format.printf "--- placement ---@.grid %s on %a: %a mapping, %d \
+                 neighbour hops@.@."
+    (String.concat "x" (List.map string_of_int (Array.to_list grid)))
+    Machine.Mesh.pp mesh Machine.Placement_map.pp_strategy strategy hops;
+
+  (* Code generation. *)
+  Format.printf "--- generated SPMD structure ---@.%s@."
+    (Partition.Codegen.emit_pseudocode sched);
+
+  (* Machine run + timing. *)
+  let r =
+    Machine.Sim.run sched
+      {
+        Machine.Sim.default with
+        Machine.Sim.topology = Machine.Sim.Mesh2d;
+        placement = Some placement;
+      }
+  in
+  Format.printf "--- simulated machine (%s) ---@.%a@.@."
+    (Partition.Tile.to_string tile) Machine.Sim.pp_result r;
+  Format.printf "estimated cycles/processor: %.0f@."
+    (Machine.Timing.cycles r.Machine.Sim.stats ~nprocs
+       Machine.Timing.alewife_like)

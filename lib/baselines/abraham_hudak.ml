@@ -1,0 +1,132 @@
+open Intmath
+open Matrixkit
+open Loopir
+
+type result = {
+  target_array : string;
+  spreads : int array;
+  ratio : float array;
+  grid : int array;
+  sizes : int array;
+}
+
+let identity_g (r : Reference.t) =
+  let g = Affine.g r.Reference.index in
+  Imat.is_square g && Imat.equal g (Imat.identity (Imat.rows g))
+
+(* AH target the array that carries reuse: the one referenced more than
+   once.  A single-reference array contributes the same footprint to any
+   equal-volume tile, exactly as in the paper's Example 8. *)
+let target nest =
+  let multi =
+    List.filter
+      (fun name -> List.length (Nest.references_to nest name) > 1)
+      (Nest.arrays nest)
+  in
+  match multi with
+  | [ name ] -> Ok name
+  | [] -> Error "no array is referenced more than once; any tile is optimal"
+  | _ :: _ :: _ -> Error "more than one shared array (outside the AH domain)"
+
+let applies nest =
+  match target nest with
+  | Error e -> Error e
+  | Ok name ->
+      if List.for_all identity_g (Nest.references_to nest name) then Ok name
+      else
+        Error
+          (Printf.sprintf
+             "references to %s are not of the form A(i1+a1,...,id+ad)" name)
+
+let spreads_of nest name =
+  let offsets =
+    List.map
+      (fun (r : Reference.t) -> Affine.offset r.Reference.index)
+      (Nest.references_to nest name)
+  in
+  match offsets with
+  | [] -> [||]
+  | first :: rest ->
+      let lo = Array.copy first and hi = Array.copy first in
+      List.iter
+        (fun o ->
+          Array.iteri
+            (fun k v ->
+              if v < lo.(k) then lo.(k) <- v;
+              if v > hi.(k) then hi.(k) <- v)
+            o)
+        rest;
+      Ivec.sub hi lo
+
+(* Their communication volume for tile sides x: sum_k d_k prod_{j<>k} x_j;
+   with prod x fixed the optimum has x_k proportional to d_k (zero-spread
+   dimensions take the whole extent - splitting them is free, keeping them
+   whole cannot hurt). *)
+let cost spreads sizes =
+  let l = Array.length spreads in
+  let total = ref 0 in
+  for k = 0 to l - 1 do
+    if spreads.(k) > 0 then begin
+      let p = ref spreads.(k) in
+      for j = 0 to l - 1 do
+        if j <> k then p := !p * sizes.(j)
+      done;
+      total := !total + !p
+    end
+  done;
+  !total
+
+let partition nest ~nprocs =
+  match applies nest with
+  | Error e -> Error e
+  | Ok name ->
+      let spreads = spreads_of nest name in
+      let extents = Nest.extents nest in
+      let l = Array.length extents in
+      let candidates =
+        List.filter
+          (fun fs -> List.for_all2 (fun p n -> p <= n) fs (Array.to_list extents))
+          (Int_math.factorizations l nprocs)
+      in
+      if candidates = [] then Error "no feasible processor grid"
+      else begin
+        let best = ref None in
+        List.iter
+          (fun grid ->
+            let sizes =
+              Array.of_list
+                (List.mapi (fun k p -> Int_math.ceil_div extents.(k) p) grid)
+            in
+            let c = cost spreads sizes in
+            match !best with
+            | Some (_, _, bc) when bc <= c -> ()
+            | _ -> best := Some (grid, sizes, c))
+          candidates;
+        match !best with
+        | None -> Error "no feasible processor grid"
+        | Some (grid, sizes, _) ->
+            let total = Array.fold_left ( + ) 0 spreads in
+            let ratio =
+              Array.map
+                (fun d ->
+                  if total = 0 then 1.0
+                  else float_of_int d /. float_of_int total)
+                spreads
+            in
+            Ok
+              {
+                target_array = name;
+                spreads;
+                ratio;
+                grid = Array.of_list grid;
+                sizes;
+              }
+      end
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>AH target array: %s@,spreads: %s@,grid: %s@,tile sizes: %s@]"
+    r.target_array
+    (String.concat ", " (List.map string_of_int (Array.to_list r.spreads)))
+    (String.concat "x" (List.map string_of_int (Array.to_list r.grid)))
+    (String.concat "x" (List.map string_of_int (Array.to_list r.sizes)))

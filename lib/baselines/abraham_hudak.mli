@@ -1,0 +1,28 @@
+(** The Abraham & Hudak rectangular partitioner (reference [6] of the
+    paper), implemented independently of the footprint framework so the
+    two can be compared.
+
+    Their domain: loops whose body references a single shared array with
+    subscripts of the form [A(i1+a1, ..., id+ad)] - i.e. [G] is the
+    identity - and rectangular partitions only.  Their result: tile side
+    lengths proportional to the per-dimension offset spreads.  Example 8
+    of the paper shows the footprint framework reproducing this ratio
+    (2:3:4). *)
+
+open Loopir
+
+type result = {
+  target_array : string;  (** the array whose traffic drives the choice *)
+  spreads : int array;  (** per-dimension max-min offset spread *)
+  ratio : float array;  (** optimal tile-side proportions *)
+  grid : int array;  (** chosen processor grid *)
+  sizes : int array;  (** chosen tile sizes *)
+}
+
+val applies : Nest.t -> (string, string) Stdlib.result
+(** [Ok array] when the nest is in the AH domain (the array with more than
+    one reference has identity [G]); [Error reason] otherwise. *)
+
+val partition : Nest.t -> nprocs:int -> (result, string) Stdlib.result
+
+val pp_result : Format.formatter -> result -> unit

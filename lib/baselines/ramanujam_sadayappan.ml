@@ -1,0 +1,145 @@
+open Intmath
+open Matrixkit
+open Loopir
+
+type t = {
+  sharing : Ivec.t list;
+  comm_free : bool;
+  normals : Imat.t option;
+  note : string;
+}
+
+let pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go xs
+
+let sharing_vectors nest =
+  let vectors = ref [] in
+  let push v = if not (Ivec.is_zero v) then vectors := v :: !vectors in
+  List.iter
+    (fun name ->
+      let refs = Nest.references_to nest name in
+      (* Self-sharing: iterations mapped to the same element by one
+         reference - the left null lattice of G. *)
+      (match refs with
+      | (r : Reference.t) :: _ -> (
+          match Hnf.left_nullspace (Affine.g r.Reference.index) with
+          | None -> ()
+          | Some basis -> List.iter push (Imat.row_list basis))
+      | [] -> ());
+      (* Pairwise sharing within uniformly generated sets. *)
+      List.iter
+        (fun ((r : Reference.t), (s : Reference.t)) ->
+          if Affine.uniformly_generated r.Reference.index s.Reference.index
+          then
+            let delta =
+              Ivec.sub
+                (Affine.offset s.Reference.index)
+                (Affine.offset r.Reference.index)
+            in
+            match Hnf.solve_left_int (Affine.g r.Reference.index) delta with
+            | Some v -> push v
+            | None -> ())
+        (pairs refs))
+    (Nest.arrays nest);
+  List.rev !vectors
+
+let analyze nest =
+  let sharing = sharing_vectors nest in
+  let l = Nest.nesting nest in
+  match sharing with
+  | [] ->
+      {
+        sharing;
+        comm_free = true;
+        normals = Some (Imat.identity l);
+        note = "no data sharing at all: every partition is communication-free";
+      }
+  | _ ->
+      let m = Imat.of_rows (List.map Ivec.to_list sharing) in
+      if Imat.rank m >= l then
+        {
+          sharing;
+          comm_free = false;
+          normals = None;
+          note =
+            "sharing vectors span the iteration space: no communication-free \
+             hyperplane partition exists";
+        }
+      else
+        (* Normals: integer vectors orthogonal to every sharing vector,
+           i.e. the left null space of the transposed sharing matrix. *)
+        let normals = Hnf.left_nullspace (Imat.transpose m) in
+        {
+          sharing;
+          comm_free = true;
+          normals;
+          note = "communication-free hyperplane partition found";
+        }
+
+let axis_of (h : Ivec.t) =
+  let nz =
+    List.filter (fun k -> h.(k) <> 0) (List.init (Array.length h) Fun.id)
+  in
+  match nz with [ k ] -> Some k | _ -> None
+
+let slab_tile t nest ~nprocs =
+  match t.normals with
+  | None -> None
+  | Some normals -> (
+      let extents = Nest.extents nest in
+      let l = Array.length extents in
+      let rows = Imat.row_list normals in
+      (* Prefer an axis-aligned normal: it yields a rectangular slab. *)
+      let axis = List.find_map axis_of rows in
+      match axis with
+      | Some k ->
+          let sizes =
+            Array.mapi
+              (fun j n -> if j = k then max 1 (Int_math.ceil_div n nprocs) else n)
+              extents
+          in
+          Some (Partition.Tile.rect sizes)
+      | None -> (
+          match (l, t.sharing) with
+          | 2, s :: _ -> (
+              (* General 2-D case: one row along the sharing direction
+                 spanning the space, one thin row across it. *)
+              match rows with
+              | h :: _ ->
+                  let m =
+                    List.fold_left
+                      (fun acc k ->
+                        if s.(k) = 0 then acc
+                        else min acc (extents.(k) / abs s.(k)))
+                      max_int
+                      (List.init 2 Fun.id)
+                  in
+                  let r1 = Ivec.scale (max 1 m) s in
+                  let cross = abs ((r1.(0) * h.(1)) - (r1.(1) * h.(0))) in
+                  if cross = 0 then None
+                  else
+                    let volume =
+                      Nest.iterations nest / max 1 nprocs
+                    in
+                    let thickness =
+                      max 1 (Int_math.ceil_div volume cross)
+                    in
+                    let r2 = Ivec.scale thickness h in
+                    let lmat = Imat.of_rows [ Ivec.to_list r1; Ivec.to_list r2 ] in
+                    if Imat.det lmat = 0 then None
+                    else Some (Partition.Tile.pped lmat)
+              | [] -> None)
+          | _ -> None))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>sharing vectors: %s@,communication-free: %b@,%s"
+    (String.concat ", " (List.map Ivec.to_string t.sharing))
+    t.comm_free t.note;
+  (match t.normals with
+  | Some n -> Format.fprintf ppf "@,normals:@,%a" Imat.pp n
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** The Ramanujam & Sadayappan communication-free partitioning test
+    (reference [7] of the paper), implemented independently.
+
+    Two iterations [i1], [i2] {e share} data through references
+    [(G, a1)], [(G, a2)] when [(i1 - i2) G = a2 - a1]; the integer
+    solutions of that system (a particular solution plus the left null
+    lattice of [G]) are the {e sharing vectors}.  A communication-free
+    partition by parallel hyperplanes exists iff the sharing vectors of
+    all reference pairs span a proper subspace of the iteration space;
+    the hyperplane normals are an integer basis of the orthogonal
+    complement.
+
+    For the paper's Example 2, the single sharing direction is [(4, 0)],
+    giving normal [(0, 1)]: partition by columns of [j] - exactly the
+    partition [a] that the footprint framework also selects. *)
+
+open Matrixkit
+open Loopir
+
+type t = {
+  sharing : Ivec.t list;  (** generators of the sharing directions *)
+  comm_free : bool;
+  normals : Imat.t option;
+      (** rows: hyperplane normals of a communication-free partition
+          (present iff [comm_free]; identity rows when there is no sharing
+          at all) *)
+  note : string;
+}
+
+val sharing_vectors : Nest.t -> Ivec.t list
+(** One generator set: per same-array uniformly generated pair, a
+    particular solution of [v G = delta-a] (when one exists) plus a basis
+    of [G]'s left null space. *)
+
+val analyze : Nest.t -> t
+
+val slab_tile : t -> Nest.t -> nprocs:int -> Partition.Tile.t option
+(** When a communication-free partition exists along a single normal,
+    build the corresponding slab tiling of the iteration space for [P]
+    processors (used to cross-check with the simulator). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+open Loopir
+open Partition
+open Machine
+
+type analysis = {
+  nest : Nest.t;
+  nprocs : int;
+  cost : Cost.t;
+  rect : Rectangular.result;
+  skewed : Skewed.result option;
+  rs : Baselines.Ramanujam_sadayappan.t;
+  ah : (Baselines.Abraham_hudak.result, string) result;
+}
+
+let analyze ?(try_skewed = false) ~nprocs nest =
+  let cost = Cost.of_nest nest in
+  let rect = Rectangular.optimize cost ~nprocs in
+  let skewed = if try_skewed then Skewed.optimize cost ~nprocs else None in
+  let rs = Baselines.Ramanujam_sadayappan.analyze nest in
+  let ah = Baselines.Abraham_hudak.partition nest ~nprocs in
+  { nest; nprocs; cost; rect; skewed; rs; ah }
+
+let best_tile a =
+  match a.skewed with
+  | Some s when s.Skewed.improves_on_rect -> s.Skewed.tile
+  | Some _ | None -> a.rect.Rectangular.tile
+
+let schedule ?tile a =
+  let tile = Option.value ~default:a.rect.Rectangular.tile tile in
+  Codegen.make a.nest tile ~nprocs:a.nprocs
+
+let simulate ?tile ?(config = Sim.default) a =
+  Sim.run (schedule ?tile a) config
+
+let simulate_aligned ?tile ?(geometry = Cache.Infinite) a =
+  let sched = schedule ?tile a in
+  let placement = Data_partition.aligned sched a.cost in
+  Sim.run sched
+    {
+      Sim.default with
+      Sim.geometry;
+      topology = Sim.Mesh2d;
+      placement = Some placement;
+    }
+
+let report ppf a =
+  Format.fprintf ppf "@[<v>=== %s on %d processors ===@,@,%a@,@,"
+    a.nest.Nest.name a.nprocs Nest.pp a.nest;
+  Format.fprintf ppf "%a@,@," Cost.pp a.cost;
+  Format.fprintf ppf "--- rectangular partition ---@,%a@,@,"
+    Rectangular.pp_result a.rect;
+  (match a.skewed with
+  | Some s ->
+      Format.fprintf ppf "--- parallelepiped partition ---@,%a@,@,"
+        Skewed.pp_result s
+  | None -> ());
+  Format.fprintf ppf "--- Ramanujam-Sadayappan check ---@,%a@,@,"
+    Baselines.Ramanujam_sadayappan.pp a.rs;
+  (match a.ah with
+  | Ok r ->
+      Format.fprintf ppf "--- Abraham-Hudak baseline ---@,%a@,"
+        Baselines.Abraham_hudak.pp_result r
+  | Error e ->
+      Format.fprintf ppf "--- Abraham-Hudak baseline: not applicable (%s)@,"
+        e);
+  Format.fprintf ppf "@]"

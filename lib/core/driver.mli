@@ -1,0 +1,44 @@
+(** The end-to-end partitioning pipeline: the OCaml analogue of the
+    Alewife compiler passes of Figure 10 (analysis on the communication
+    graph, loop partitioning, data partitioning/alignment, and - standing
+    in for a machine run - simulation). *)
+
+open Loopir
+open Partition
+open Machine
+
+type analysis = {
+  nest : Nest.t;
+  nprocs : int;
+  cost : Cost.t;  (** classification + symbolic footprints *)
+  rect : Rectangular.result;  (** the partition the compiler emits *)
+  skewed : Skewed.result option;
+      (** parallelepiped alternative, when the engine applies and was
+          requested *)
+  rs : Baselines.Ramanujam_sadayappan.t;  (** communication-freedom *)
+  ah : (Baselines.Abraham_hudak.result, string) result;
+}
+
+val analyze : ?try_skewed:bool -> nprocs:int -> Nest.t -> analysis
+(** Classify, build the cost model and optimize.  [try_skewed] defaults to
+    [false] (rectangular only, like the implemented Alewife subset). *)
+
+val best_tile : analysis -> Tile.t
+(** The skewed tile when it strictly improves on the rectangular one,
+    else the rectangular tile. *)
+
+val schedule : ?tile:Tile.t -> analysis -> Codegen.schedule
+
+val simulate :
+  ?tile:Tile.t -> ?config:Sim.config -> analysis -> Sim.result
+(** Run the simulator on the chosen partition (default: rectangular tile,
+    default simulator configuration). *)
+
+val simulate_aligned :
+  ?tile:Tile.t -> ?geometry:Cache.geometry -> analysis -> Sim.result
+(** Distributed-memory run: 2-D mesh with loop-tile-aligned data
+    placement (the paper's Section 4 configuration). *)
+
+val report : Format.formatter -> analysis -> unit
+(** Human-readable compiler report: classes, polynomials, chosen
+    partition, baselines. *)

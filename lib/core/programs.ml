@@ -1,0 +1,186 @@
+open Loopir
+open Dsl
+
+(* [open Dsl] rebinds (+)/(-)/( * ) to expression builders; use these for
+   plain integer bounds. *)
+let ( +! ) = Stdlib.( + )
+let ( -! ) = Stdlib.( - )
+
+let example2 ?(n = 100) () =
+  let i = var 0 and j = var 1 in
+  nest ~name:"example2"
+    [ doall "i" 101 (100 +! n); doall "j" 1 n ]
+    [
+      write "A" [ i; j ];
+      read "B" [ i + j; i - j - int 1 ];
+      read "B" [ i + j + int 4; i - j + int 3 ];
+    ]
+
+let example3 ?(n = 100) () =
+  let i = var 0 and j = var 1 in
+  nest ~name:"example3"
+    [ doall "i" 1 n; doall "j" 1 n ]
+    [ write "A" [ i; j ]; read "B" [ i; j ]; read "B" [ i + int 1; j + int 3 ] ]
+
+let example6 ?(n = 100) () =
+  let i = var 0 and j = var 1 in
+  nest ~name:"example6"
+    [ doall "i" 0 (n -! 1); doall "j" 0 (n -! 1) ]
+    [
+      write "A" [ i; j ];
+      read "B" [ i + j; j ];
+      read "B" [ i + j + int 1; j + int 2 ];
+    ]
+
+let example8_body i j k =
+  [
+    write "A" [ i; j; k ];
+    read "B" [ i - int 1; j; k + int 1 ];
+    read "B" [ i; j + int 1; k ];
+    read "B" [ i + int 1; j - int 2; k - int 3 ];
+  ]
+
+let example8 ?(n = 32) () =
+  let i = var 0 and j = var 1 and k = var 2 in
+  nest ~name:"example8"
+    [ doall "i" 1 n; doall "j" 1 n; doall "k" 1 n ]
+    (example8_body i j k)
+
+let example8_seq ?(n = 32) ?(steps = 4) () =
+  let i = var 0 and j = var 1 and k = var 2 in
+  nest ~name:"example8_seq" ~seq:(doseq "t" 1 steps)
+    [ doall "i" 1 n; doall "j" 1 n; doall "k" 1 n ]
+    (example8_body i j k)
+
+let example9 ?(n = 60) () =
+  let i = var 0 and j = var 1 in
+  nest ~name:"example9"
+    [ doall "i" 1 n; doall "j" 1 n ]
+    [
+      write "A" [ i; j ];
+      read "B" [ i - int 2; j ];
+      read "B" [ i; j - int 1 ];
+      read "C" [ i + j; j ];
+      read "C" [ i + j + int 1; j + int 3 ];
+    ]
+
+let example10 ?(n = 60) () =
+  let i = var 0 and j = var 1 in
+  nest ~name:"example10"
+    [ doall "i" 1 n; doall "j" 1 n ]
+    [
+      write "A" [ i; j ];
+      read "B" [ i + j; i - j ];
+      read "B" [ i + j + int 4; i - j + int 2 ];
+      read "C" [ i; 2 * i; i + (2 * j) - int 1 ];
+      read "C" [ i + int 1; (2 * i) + int 2; i + (2 * j) + int 1 ];
+      read "C" [ i; 2 * i; i + (2 * j) + int 1 ];
+    ]
+
+let matmul ?(n = 24) () =
+  let i = var 0 and j = var 1 and k = var 2 in
+  nest ~name:"matmul"
+    [ doall "i" 1 n; doall "j" 1 n; doall "k" 1 n ]
+    [
+      accumulate "C" [ i; j ];
+      read "A" [ i; k ];
+      read "B" [ k; j ];
+    ]
+
+let stencil5 ?(n = 64) ?(steps = 4) () =
+  let i = var 0 and j = var 1 in
+  nest ~name:"stencil5" ~seq:(doseq "t" 1 steps)
+    [ doall "i" 1 n; doall "j" 1 n ]
+    [
+      write "A" [ i; j ];
+      read "B" [ i; j ];
+      read "B" [ i - int 1; j ];
+      read "B" [ i + int 1; j ];
+      read "B" [ i; j - int 1 ];
+      read "B" [ i; j + int 1 ];
+    ]
+
+let stencil27 ?(n = 16) ?(steps = 2) () =
+  let i = var 0 and j = var 1 and k = var 2 in
+  let reads =
+    List.concat_map
+      (fun di ->
+        List.concat_map
+          (fun dj ->
+            List.map
+              (fun dk -> read "B" [ i + int di; j + int dj; k + int dk ])
+              [ -1; 0; 1 ])
+          [ -1; 0; 1 ])
+      [ -1; 0; 1 ]
+  in
+  nest ~name:"stencil27" ~seq:(doseq "t" 1 steps)
+    [ doall "i" 1 n; doall "j" 1 n; doall "k" 1 n ]
+    (write "A" [ i; j; k ] :: reads)
+
+let example8_inplace ?(n = 24) ?(steps = 4) () =
+  let i = var 0 and j = var 1 and k = var 2 in
+  nest ~name:"example8_inplace" ~seq:(doseq "t" 1 steps)
+    [ doall "i" 4 n; doall "j" 4 n; doall "k" 4 n ]
+    [
+      write "A" [ i; j; k ];
+      read "A" [ i - int 1; j; k + int 1 ];
+      read "A" [ i; j + int 1; k ];
+      read "A" [ i + int 1; j - int 2; k - int 3 ];
+    ]
+
+let relax_inplace ?(n = 64) ?(steps = 4) () =
+  let i = var 0 and j = var 1 in
+  nest ~name:"relax_inplace" ~seq:(doseq "t" 1 steps)
+    [ doall "i" 2 n; doall "j" 2 n ]
+    [
+      write "A" [ i; j ];
+      read "A" [ i - int 1; j ];
+      read "A" [ i + int 1; j ];
+      read "A" [ i; j - int 1 ];
+      read "A" [ i; j + int 1 ];
+    ]
+
+let conv3x3 ?(n = 62) () =
+  let i = var 0 and j = var 1 in
+  let reads =
+    List.concat_map
+      (fun di ->
+        List.map (fun dj -> read "B" [ i + int di; j + int dj ]) [ -1; 0; 1 ])
+      [ -1; 0; 1 ]
+  in
+  nest ~name:"conv3x3"
+    [ doall "i" 1 n; doall "j" 1 n ]
+    (write "A" [ i; j ] :: reads)
+
+let diag_accumulate ?(n = 40) () =
+  let i = var 0 and j = var 1 in
+  nest ~name:"diag_accumulate"
+    [ doall "i" 1 n; doall "j" 1 n ]
+    [ accumulate "H" [ i + j ]; read "X" [ i; j ] ]
+
+let transpose_like ?(n = 48) () =
+  let i = var 0 and j = var 1 in
+  nest ~name:"transpose_like"
+    [ doall "i" 1 n; doall "j" 1 n ]
+    [ write "A" [ i; j ]; read "B" [ j; i ]; read "B" [ j + int 1; i ] ]
+
+let all =
+  [
+    ("example2", example2 ());
+    ("example3", example3 ());
+    ("example6", example6 ());
+    ("example8", example8 ());
+    ("example8_seq", example8_seq ());
+    ("example9", example9 ());
+    ("example10", example10 ());
+    ("example8_inplace", example8_inplace ());
+    ("relax_inplace", relax_inplace ());
+    ("matmul", matmul ());
+    ("stencil5", stencil5 ());
+    ("stencil27", stencil27 ());
+    ("conv3x3", conv3x3 ());
+    ("diag_accumulate", diag_accumulate ());
+    ("transpose_like", transpose_like ());
+  ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,69 @@
+(** The program gallery: every worked example of the paper plus the
+    workloads its introduction motivates, built with the {!Loopir.Dsl}.
+
+    Sizes are parameters so tests can shrink them and benchmarks can grow
+    them; defaults match the paper where it gives concrete bounds. *)
+
+open Loopir
+
+val example2 : ?n:int -> unit -> Nest.t
+(** Example 2: [A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3]] over a 100x100
+    space ([i] from 101, [j] from 1).  [n] scales both extents. *)
+
+val example3 : ?n:int -> unit -> Nest.t
+(** Example 3: [A[i,j] = B[i,j] + B[i+1,j+3]]. *)
+
+val example6 : ?n:int -> unit -> Nest.t
+(** Example 6: [A[i,j] = B[i+j,j] + B[i+j+1,j+2]]. *)
+
+val example8 : ?n:int -> unit -> Nest.t
+(** Example 8: 3-nest, [B(i-1,j,k+1) + B(i,j+1,k) + B(i+1,j-2,k-3)]. *)
+
+val example8_seq : ?n:int -> ?steps:int -> unit -> Nest.t
+(** Figure 9: Example 8 wrapped in a sequential time loop. *)
+
+val example9 : ?n:int -> unit -> Nest.t
+(** Example 9: two uniformly intersecting classes (B and C). *)
+
+val example10 : ?n:int -> unit -> Nest.t
+(** Example 10: nonsingular-but-not-unimodular and singular [G]s. *)
+
+val example8_inplace : ?n:int -> ?steps:int -> unit -> Nest.t
+(** Example 8's reference pattern made in-place (all references to one
+    array) under a time loop: each outer iteration re-generates exactly
+    the steady-state coherence traffic [2 L_j L_k + 3 L_i L_k + 4 L_i L_j]
+    that Figure 9's discussion analyses. *)
+
+val relax_inplace : ?n:int -> ?steps:int -> unit -> Nest.t
+(** In-place 4-neighbour relaxation under a time loop (2-D analogue of
+    {!example8_inplace}). *)
+
+val matmul : ?n:int -> unit -> Nest.t
+(** Figure 11 (Appendix A): [l$C[i,j] = l$C[i,j] + A[i,k] + B[k,j]] with
+    atomic accumulates. *)
+
+val stencil5 : ?n:int -> ?steps:int -> unit -> Nest.t
+(** Five-point Jacobi relaxation under a time loop: the canonical
+    cache-coherence workload. *)
+
+val stencil27 : ?n:int -> ?steps:int -> unit -> Nest.t
+(** Dense 3x3x3 stencil in three dimensions (27-point). *)
+
+val conv3x3 : ?n:int -> unit -> Nest.t
+(** Dense 3x3 convolution: a 9-reference uniformly intersecting class
+    with spread (2,2). *)
+
+val diag_accumulate : ?n:int -> unit -> Nest.t
+(** [l$H[i+j] = l$H[i+j] + X[i,j]]: a rank-1 projection target under
+    atomic accumulation - every anti-diagonal's sum races across
+    processors, and the footprint engine must count [{i+j}] exactly
+    (Section 3.8's general-G case). *)
+
+val transpose_like : ?n:int -> unit -> Nest.t
+(** [A[i,j] = B[j,i] + B[j+1,i]]: a non-uniformly-intersecting pair with
+    its transpose - exercises Definition 4's general intersection test. *)
+
+val all : (string * Nest.t) list
+(** Default-size instances of the whole gallery, keyed by name. *)
+
+val find : string -> Nest.t option

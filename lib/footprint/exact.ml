@@ -1,0 +1,111 @@
+open Intmath
+open Matrixkit
+open Loopir
+
+let rect_tile_iterations ~lambda =
+  let n = Array.length lambda in
+  if Array.exists (fun l -> l < 0) lambda then
+    invalid_arg "Exact.rect_tile_iterations: negative bound";
+  let rec go i acc =
+    if i = n then [ Array.of_list (List.rev acc) ]
+    else
+      List.concat_map
+        (fun v -> go (i + 1) (v :: acc))
+        (List.init (lambda.(i) + 1) Fun.id)
+  in
+  go 0 []
+
+let pped_tile_iterations ~l =
+  if not (Imat.is_square l) then
+    invalid_arg "Exact.pped_tile_iterations: L must be square";
+  let n = Imat.rows l in
+  let lq = Qmat.of_imat l in
+  match Qmat.inv lq with
+  | None -> invalid_arg "Exact.pped_tile_iterations: singular L"
+  | Some inv ->
+      (* Bounding box of the vertices sum_{i in S} row_i. *)
+      let lo = Array.make n 0 and hi = Array.make n 0 in
+      let rec corners i acc =
+        if i = n then [ acc ]
+        else
+          corners (i + 1) acc
+          @ corners (i + 1) (Ivec.add acc (Imat.row l i))
+      in
+      List.iter
+        (fun v ->
+          Array.iteri
+            (fun j x ->
+              if x < lo.(j) then lo.(j) <- x;
+              if x > hi.(j) then hi.(j) <- x)
+            v)
+        (corners 0 (Ivec.zero n));
+      let inside p =
+        let coords =
+          Qmat.mul_row (Array.map Rat.of_int p) inv
+        in
+        Array.for_all
+          (fun c -> Rat.compare c Rat.zero >= 0 && Rat.compare c Rat.one <= 0)
+          coords
+      in
+      let out = ref [] in
+      let point = Array.make n 0 in
+      let rec scan i =
+        if i = n then begin
+          if inside point then out := Array.copy point :: !out
+        end
+        else
+          for v = lo.(i) to hi.(i) do
+            point.(i) <- v;
+            scan (i + 1)
+          done
+      in
+      scan 0;
+      List.rev !out
+
+let footprint ~iterations f =
+  let seen = Hashtbl.create 1024 in
+  let order = ref [] in
+  List.iter
+    (fun i ->
+      let d = Affine.apply f i in
+      let key = Array.to_list d in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        order := d :: !order
+      end)
+    iterations;
+  List.rev !order
+
+let footprint_size ~iterations f = List.length (footprint ~iterations f)
+
+let cumulative_footprint_size ~iterations fs =
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun i -> Hashtbl.replace seen (Array.to_list (Affine.apply f i)) ())
+        iterations)
+    fs;
+  Hashtbl.length seen
+
+let nest_unique_elements nest =
+  let bounds = Nest.bounds nest in
+  let n = Array.length bounds in
+  let rec iters i acc =
+    if i = n then [ Array.of_list (List.rev acc) ]
+    else
+      let lo, hi = bounds.(i) in
+      List.concat_map
+        (fun off -> iters (i + 1) ((lo + off) :: acc))
+        (List.init (hi - lo + 1) Fun.id)
+  in
+  let iterations = iters 0 [] in
+  List.map
+    (fun name ->
+      let fs =
+        List.map
+          (fun (r : Reference.t) -> r.Reference.index)
+          (Nest.references_to nest name)
+      in
+      (name, cumulative_footprint_size ~iterations fs))
+    (Nest.arrays nest)

@@ -1,0 +1,32 @@
+(** Ground-truth footprint computation by exhaustive enumeration.
+
+    These functions walk every iteration of a tile and collect the exact
+    set of data elements touched.  They are exponential in the tile size
+    and exist to validate the closed forms of {!Size} (and to measure the
+    approximation error reported in EXPERIMENTS.md), not for use inside
+    the optimizer. *)
+
+open Matrixkit
+open Loopir
+
+val rect_tile_iterations : lambda:int array -> Ivec.t list
+(** All integer points [0 <= i_k <= lambda_k]. *)
+
+val pped_tile_iterations : l:Imat.t -> Ivec.t list
+(** All integer points on or inside the hyperparallelepiped whose edge
+    vectors are the rows of [l] (Definition 7's [S(L)]), found by scanning
+    the bounding box and testing rational coordinates. *)
+
+val footprint : iterations:Ivec.t list -> Affine.t -> Ivec.t list
+(** Distinct data elements accessed through one reference. *)
+
+val footprint_size : iterations:Ivec.t list -> Affine.t -> int
+
+val cumulative_footprint_size :
+  iterations:Ivec.t list -> Affine.t list -> int
+(** Size of the union of the footprints of several references (the class
+    members), Definition 3 /cumulative footprint. *)
+
+val nest_unique_elements : Nest.t -> (string * int) list
+(** For each array of the nest, the number of distinct elements accessed
+    over the whole iteration space (useful to bound cold misses). *)

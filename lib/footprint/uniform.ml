@@ -1,0 +1,109 @@
+open Matrixkit
+open Loopir
+
+let uniformly_generated = Affine.uniformly_generated
+
+let intersecting r s =
+  if Affine.dims r <> Affine.dims s then false
+  else
+    let delta = Ivec.sub (Affine.offset s) (Affine.offset r) in
+    if uniformly_generated r s then Hnf.mem_row_lattice (Affine.g r) delta
+    else begin
+      (* Stack [G1; -G2]: an integer x = (i1, i2) with
+         i1*G1 - i2*G2 = a2 - a1 witnesses an intersection. *)
+      let g1 = Affine.g r and g2 = Affine.g s in
+      let l1 = Imat.rows g1 and l2 = Imat.rows g2 in
+      let stacked =
+        Imat.make (l1 + l2) (Imat.cols g1) (fun i j ->
+            if i < l1 then Imat.get g1 i j else -Imat.get g2 (i - l1) j)
+      in
+      Hnf.mem_row_lattice stacked delta
+    end
+
+let uniformly_intersecting r s =
+  uniformly_generated r s && intersecting r s
+
+type cls = {
+  array_name : string;
+  g : Imat.t;
+  refs : Reference.t list;
+  offsets : Ivec.t list;
+}
+
+let spread cls =
+  match cls.offsets with
+  | [] -> invalid_arg "Uniform.spread: empty class"
+  | first :: rest ->
+      let d = Ivec.dim first in
+      let lo = Array.copy first and hi = Array.copy first in
+      List.iter
+        (fun o ->
+          for k = 0 to d - 1 do
+            if o.(k) < lo.(k) then lo.(k) <- o.(k);
+            if o.(k) > hi.(k) then hi.(k) <- o.(k)
+          done)
+        rest;
+      Ivec.sub hi lo
+
+let cumulative_spread cls =
+  match cls.offsets with
+  | [] -> invalid_arg "Uniform.cumulative_spread: empty class"
+  | first :: _ ->
+      let d = Ivec.dim first in
+      Array.init d (fun k ->
+          let col = List.map (fun o -> o.(k)) cls.offsets in
+          let sorted = List.sort compare col in
+          let median = List.nth sorted ((List.length sorted - 1) / 2) in
+          List.fold_left (fun acc v -> acc + abs (v - median)) 0 col)
+
+let has_write cls = List.exists Reference.is_write_like cls.refs
+
+let classify refs =
+  (* Fold references into the first compatible class, preserving program
+     order of both classes and members.  Intersection within a uniformly
+     generated set is transitive (lattice membership), so matching against
+     any member — we use the first — is sound. *)
+  let classes = ref [] in
+  List.iter
+    (fun (r : Reference.t) ->
+      let rec place = function
+        | [] ->
+            [
+              {
+                array_name = r.Reference.array_name;
+                g = Affine.g r.Reference.index;
+                refs = [ r ];
+                offsets = [ Affine.offset r.Reference.index ];
+              };
+            ]
+        | c :: rest ->
+            if
+              String.equal c.array_name r.Reference.array_name
+              && (match c.refs with
+                 | m :: _ ->
+                     uniformly_intersecting m.Reference.index
+                       r.Reference.index
+                 | [] -> false)
+            then
+              {
+                c with
+                refs = c.refs @ [ r ];
+                offsets = c.offsets @ [ Affine.offset r.Reference.index ];
+              }
+              :: rest
+            else c :: place rest
+      in
+      classes := place !classes)
+    refs;
+  !classes
+
+let classify_nest nest = classify nest.Nest.body
+
+let pp_cls ~vars ppf cls =
+  Format.fprintf ppf "@[<v>class %s (%d refs):@," cls.array_name
+    (List.length cls.refs);
+  List.iter
+    (fun r -> Format.fprintf ppf "  %a@," (Reference.pp ~vars) r)
+    cls.refs;
+  Format.fprintf ppf "  G =@,%a@,  spread = %a@]" Imat.pp cls.g Ivec.pp
+    (spread cls)

@@ -1,0 +1,52 @@
+(** Classification of array references into uniformly intersecting sets
+    (Definitions 4-6 of the paper).
+
+    Two references are {e uniformly generated} when they share the same
+    [G] matrix (Definition 5); they are {e intersecting} when some pair of
+    iterations touches the same data element (Definition 4); they are
+    {e uniformly intersecting} when both hold (Definition 6).  Within a
+    uniformly generated set, intersection is an equivalence (membership of
+    the offset difference in the row lattice of [G]), so the references of
+    a loop body split into disjoint classes whose footprints are mutual
+    translates (Proposition 1). *)
+
+open Matrixkit
+open Loopir
+
+val intersecting : Affine.t -> Affine.t -> bool
+(** Definition 4, for arbitrary pairs: do integer iterations [i1], [i2]
+    exist with [g1(i1) = g2(i2)]?  Decided exactly by integer-solving
+    [x * [G1; -G2] = a2 - a1]. *)
+
+val uniformly_generated : Affine.t -> Affine.t -> bool
+(** Definition 5. *)
+
+val uniformly_intersecting : Affine.t -> Affine.t -> bool
+(** Definition 6. *)
+
+type cls = {
+  array_name : string;
+  g : Imat.t;  (** the common reference matrix *)
+  refs : Reference.t list;  (** members, in program order *)
+  offsets : Ivec.t list;  (** their offset vectors, same order *)
+}
+(** A uniformly intersecting class. *)
+
+val spread : cls -> Ivec.t
+(** Definition 8: component-wise [max - min] of the member offsets. *)
+
+val cumulative_spread : cls -> Ivec.t
+(** Footnote 2's [a+] for data partitioning: component-wise
+    [sum_r |a_rk - median_r|]. *)
+
+val has_write : cls -> bool
+
+val classify : Reference.t list -> cls list
+(** Split a loop body into uniformly intersecting classes.  References to
+    different arrays are never in the same class; references with equal
+    [G] but non-intersecting offsets are split (e.g. [A[2i]] vs
+    [A[2i+1]]). *)
+
+val classify_nest : Nest.t -> cls list
+
+val pp_cls : vars:string array -> Format.formatter -> cls -> unit

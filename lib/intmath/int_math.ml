@@ -1,0 +1,112 @@
+exception Overflow
+
+let gcd a b =
+  let rec go a b = if b = 0 then a else go b (a mod b) in
+  abs (go (abs a) (abs b))
+
+let egcd a b =
+  (* Invariant: a*x0 + b*y0 = r0 and a*x1 + b*y1 = r1. *)
+  let rec go r0 x0 y0 r1 x1 y1 =
+    if r1 = 0 then (r0, x0, y0)
+    else
+      let q = r0 / r1 in
+      go r1 x1 y1 (r0 - (q * r1)) (x0 - (q * x1)) (y0 - (q * y1))
+  in
+  let g, x, y = go a 1 0 b 0 1 in
+  if g < 0 then (-g, -x, -y) else (g, x, y)
+
+let gcd_list = List.fold_left gcd 0
+
+let mul_exact a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / a <> b then raise Overflow else p
+
+let add_exact a b =
+  let s = a + b in
+  (* Overflow iff operands share a sign that the sum lost. *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (mul_exact (a / gcd a b) b)
+
+let ipow b e =
+  if e < 0 then invalid_arg "Int_math.ipow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul_exact acc b) (mul_exact b b) (e asr 1)
+    else go acc (mul_exact b b) (e asr 1)
+  in
+  (* Avoid squaring b when it is no longer needed (prevents spurious
+     overflow on the last step). *)
+  if e = 0 then 1 else if e = 1 then b else go 1 b e
+
+let floor_div a b =
+  if b = 0 then invalid_arg "Int_math.floor_div: zero divisor";
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b < 0 then q - 1 else q
+
+let ceil_div a b =
+  if b = 0 then invalid_arg "Int_math.ceil_div: zero divisor";
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b >= 0 then q + 1 else q
+
+let floor_mod a b = a - (b * floor_div a b)
+
+let isqrt n =
+  if n < 0 then invalid_arg "Int_math.isqrt: negative argument";
+  if n = 0 then 0
+  else
+    let r = ref (int_of_float (sqrt (float_of_int n))) in
+    while !r * !r > n do
+      decr r
+    done;
+    while (!r + 1) * (!r + 1) <= n && (!r + 1) * (!r + 1) > 0 do
+      incr r
+    done;
+    !r
+
+let iroot k n =
+  if k < 1 then invalid_arg "Int_math.iroot: k < 1";
+  if n < 0 then invalid_arg "Int_math.iroot: negative argument";
+  if k = 1 || n <= 1 then if k = 1 then n else n
+  else
+    let r = ref (int_of_float (float_of_int n ** (1.0 /. float_of_int k))) in
+    let pow_le b = try ipow b k <= n with Overflow -> false in
+    while !r > 0 && not (pow_le !r) do
+      decr r
+    done;
+    while pow_le (!r + 1) do
+      incr r
+    done;
+    !r
+
+let divisors n =
+  if n <= 0 then invalid_arg "Int_math.divisors: non-positive argument";
+  let small = ref [] and large = ref [] in
+  let d = ref 1 in
+  while !d * !d <= n do
+    if n mod !d = 0 then begin
+      small := !d :: !small;
+      if !d <> n / !d then large := (n / !d) :: !large
+    end;
+    incr d
+  done;
+  List.rev_append !small !large
+
+let factorizations k n =
+  if k < 1 then invalid_arg "Int_math.factorizations: k < 1";
+  if n <= 0 then invalid_arg "Int_math.factorizations: non-positive n";
+  let rec go k n =
+    if k = 1 then [ [ n ] ]
+    else
+      List.concat_map
+        (fun d -> List.map (fun rest -> d :: rest) (go (k - 1) (n / d)))
+        (divisors n)
+  in
+  go k n
+
+let sum = List.fold_left add_exact 0
+let prod = List.fold_left mul_exact 1

@@ -1,0 +1,56 @@
+(** Exact integer arithmetic helpers used throughout the partitioning
+    framework.  All functions operate on OCaml's native 63-bit [int]; the
+    multiplication helpers raise {!Overflow} instead of wrapping silently,
+    which keeps determinant and footprint computations exact. *)
+
+exception Overflow
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** Least common multiple, non-negative.  Raises {!Overflow} if the result
+    does not fit in an [int]. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b] is [(g, x, y)] with [g = gcd a b] and [a*x + b*y = g]. *)
+
+val gcd_list : int list -> int
+(** Gcd of a list, 0 for the empty list. *)
+
+val mul_exact : int -> int -> int
+(** Overflow-checked multiplication. *)
+
+val add_exact : int -> int -> int
+(** Overflow-checked addition. *)
+
+val ipow : int -> int -> int
+(** [ipow b e] is [b]{^ [e]} for [e >= 0], overflow-checked. *)
+
+val floor_div : int -> int -> int
+(** Floor division (rounds toward negative infinity); [b <> 0]. *)
+
+val ceil_div : int -> int -> int
+(** Ceiling division (rounds toward positive infinity); [b <> 0]. *)
+
+val floor_mod : int -> int -> int
+(** [floor_mod a b] is [a - b * floor_div a b]; has the sign of [b]. *)
+
+val isqrt : int -> int
+(** Integer square root: greatest [r] with [r*r <= n].  [n >= 0]. *)
+
+val iroot : int -> int -> int
+(** [iroot k n] is the greatest [r >= 0] with [r]{^ [k]}[ <= n];
+    [k >= 1], [n >= 0]. *)
+
+val divisors : int -> int list
+(** Positive divisors of [n > 0], in increasing order. *)
+
+val factorizations : int -> int -> int list list
+(** [factorizations k n] lists all ordered [k]-tuples of positive integers
+    whose product is [n] ([n > 0], [k >= 1]).  Used to enumerate feasible
+    processor grids. *)
+
+val sum : int list -> int
+val prod : int list -> int
+(** Overflow-checked sum / product of a list (empty list: 0 / 1). *)

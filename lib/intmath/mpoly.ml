@@ -1,0 +1,191 @@
+(* A polynomial is a map from exponent vectors to non-zero rational
+   coefficients.  Exponent vectors are int lists with no trailing zeros,
+   so each monomial has a unique key. *)
+
+module Mono = struct
+  type t = int list
+
+  let rec strip = function
+    | [] -> []
+    | e :: rest -> (
+        match strip rest with [] when e = 0 -> [] | rest' -> e :: rest')
+
+  let compare = Stdlib.compare
+
+  let mul (a : t) (b : t) : t =
+    let rec go a b =
+      match (a, b) with
+      | [], m | m, [] -> m
+      | ea :: ra, eb :: rb -> (ea + eb) :: go ra rb
+    in
+    strip (go a b)
+
+  let degree (m : t) = List.fold_left ( + ) 0 m
+end
+
+module M = Map.Make (Mono)
+
+type t = Rat.t M.t
+
+let zero = M.empty
+
+let normalized_add mono c p =
+  let c' =
+    match M.find_opt mono p with None -> c | Some c0 -> Rat.add c0 c
+  in
+  if Rat.equal c' Rat.zero then M.remove mono p else M.add mono c' p
+
+let const c = if Rat.equal c Rat.zero then zero else M.singleton [] c
+let const_int n = const (Rat.of_int n)
+let one = const_int 1
+
+let var i =
+  if i < 0 then invalid_arg "Mpoly.var: negative index";
+  M.singleton (List.init (i + 1) (fun j -> if j = i then 1 else 0)) Rat.one
+
+let add p q = M.fold normalized_add q p
+let neg p = M.map Rat.neg p
+let sub p q = add p (neg q)
+
+let scale c p =
+  if Rat.equal c Rat.zero then zero else M.map (Rat.mul c) p
+
+let scale_int n p = scale (Rat.of_int n) p
+
+let mul p q =
+  M.fold
+    (fun mp cp acc ->
+      M.fold
+        (fun mq cq acc -> normalized_add (Mono.mul mp mq) (Rat.mul cp cq) acc)
+        q acc)
+    p zero
+
+let pow p e =
+  if e < 0 then invalid_arg "Mpoly.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e asr 1)
+    else go acc (mul b b) (e asr 1)
+  in
+  go one p e
+
+let sum = List.fold_left add zero
+let product = List.fold_left mul one
+let equal p q = M.equal Rat.equal p q
+let is_zero p = M.is_empty p
+
+let degree p =
+  M.fold (fun m _ acc -> Stdlib.max acc (Mono.degree m)) p (-1)
+
+let num_vars p = M.fold (fun m _ acc -> Stdlib.max acc (List.length m)) p 0
+let monomials p = M.bindings p
+
+let coeff p mono =
+  match M.find_opt (Mono.strip mono) p with None -> Rat.zero | Some c -> c
+
+let eval_gen ~mul_coeff ~mul ~add ~zero:z ~one:o ~pow p env =
+  M.fold
+    (fun mono c acc ->
+      let term =
+        List.fold_left
+          (fun (t, i) e -> (mul t (pow (env i) e), i + 1))
+          (o, 0) mono
+        |> fst
+      in
+      add acc (mul_coeff c term))
+    p z
+
+let rat_pow b e =
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (Rat.mul acc b) (Rat.mul b b) (e asr 1)
+    else go acc (Rat.mul b b) (e asr 1)
+  in
+  go Rat.one b e
+
+let eval p env =
+  let n = num_vars p in
+  if Array.length env < n then invalid_arg "Mpoly.eval: environment too short";
+  eval_gen ~mul_coeff:Rat.mul ~mul:Rat.mul ~add:Rat.add ~zero:Rat.zero
+    ~one:Rat.one
+    ~pow:(fun b e -> rat_pow b e)
+    p
+    (fun i -> env.(i))
+
+let eval_int p env = eval p (Array.map Rat.of_int env)
+
+let eval_float p env =
+  let n = num_vars p in
+  if Array.length env < n then
+    invalid_arg "Mpoly.eval_float: environment too short";
+  eval_gen
+    ~mul_coeff:(fun c x -> Rat.to_float c *. x)
+    ~mul:( *. ) ~add:( +. ) ~zero:0.0 ~one:1.0
+    ~pow:(fun b e -> b ** float_of_int e)
+    p
+    (fun i -> env.(i))
+
+let partial i p =
+  M.fold
+    (fun mono c acc ->
+      let e = try List.nth mono i with Failure _ -> 0 in
+      if e = 0 then acc
+      else
+        let mono' =
+          Mono.strip (List.mapi (fun j x -> if j = i then x - 1 else x) mono)
+        in
+        normalized_add mono' (Rat.mul c (Rat.of_int e)) acc)
+    p zero
+
+let subst i q p =
+  M.fold
+    (fun mono c acc ->
+      let e = try List.nth mono i with Failure _ -> 0 in
+      let mono' =
+        Mono.strip (List.mapi (fun j x -> if j = i then 0 else x) mono)
+      in
+      let base = M.singleton mono' c in
+      add acc (mul base (pow q e)))
+    p zero
+
+let pp ?(names = fun i -> Printf.sprintf "x%d" i) ppf p =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else begin
+    let terms = M.bindings p in
+    (* Largest-degree terms first reads more naturally. *)
+    let terms =
+      List.sort
+        (fun (m1, _) (m2, _) ->
+          match compare (Mono.degree m2) (Mono.degree m1) with
+          | 0 -> Mono.compare m1 m2
+          | c -> c)
+        terms
+    in
+    List.iteri
+      (fun idx (mono, c) ->
+        let neg = Rat.sign c < 0 in
+        let c_abs = Rat.abs c in
+        if idx = 0 then (if neg then Format.pp_print_string ppf "-")
+        else Format.pp_print_string ppf (if neg then " - " else " + ");
+        let vars =
+          mono
+          |> List.mapi (fun i e -> (i, e))
+          |> List.filter (fun (_, e) -> e > 0)
+        in
+        let vars =
+          List.concat_map
+            (fun (i, e) ->
+              if e = 1 then [ names i ]
+              else [ Printf.sprintf "%s^%d" (names i) e ])
+            vars
+        in
+        match vars with
+        | [] -> Rat.pp ppf c_abs
+        | _ ->
+            if not (Rat.equal c_abs Rat.one) then
+              Format.fprintf ppf "%a*" Rat.pp c_abs;
+            Format.pp_print_string ppf (String.concat "*" vars))
+      terms
+  end
+
+let to_string ?names p = Format.asprintf "%a" (pp ?names) p

@@ -1,0 +1,59 @@
+(** Multivariate polynomials with rational coefficients.
+
+    Variables are identified by non-negative integers; in the partitioning
+    framework variable [i] stands for the tile extent of loop dimension [i]
+    (the paper's [L_ii + 1] for rectangular tiles).  The symbolic cumulative
+    footprint of a loop nest is such a polynomial, e.g. Example 8 produces
+    [x0*x1*x2 + 2*x1*x2 + 3*x0*x2 + 4*x0*x1]. *)
+
+type t
+
+val zero : t
+val one : t
+val const : Rat.t -> t
+val const_int : int -> t
+val var : int -> t
+(** [var i] is the monomial [x_i]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+val scale_int : int -> t -> t
+val pow : t -> int -> t
+val sum : t list -> t
+val product : t list -> t
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val degree : t -> int
+(** Total degree; [-1] for the zero polynomial. *)
+
+val num_vars : t -> int
+(** One more than the largest variable index occurring (0 if none). *)
+
+val coeff : t -> int list -> Rat.t
+(** [coeff p mono] is the coefficient of the monomial whose exponent
+    vector is [mono] (short vectors are zero-padded). *)
+
+val monomials : t -> (int list * Rat.t) list
+(** All (exponent-vector, coefficient) pairs with non-zero coefficients,
+    in a deterministic order. *)
+
+val eval : t -> Rat.t array -> Rat.t
+(** Evaluate; missing variables (index >= array length) are an error. *)
+
+val eval_int : t -> int array -> Rat.t
+val eval_float : t -> float array -> float
+
+val partial : int -> t -> t
+(** [partial i p] is the partial derivative with respect to [x_i]. *)
+
+val subst : int -> t -> t -> t
+(** [subst i q p] replaces [x_i] by polynomial [q] in [p]. *)
+
+val pp : ?names:(int -> string) -> Format.formatter -> t -> unit
+(** Pretty-print, default variable names [x0, x1, ...]. *)
+
+val to_string : ?names:(int -> string) -> t -> string

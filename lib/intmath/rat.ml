@@ -1,0 +1,80 @@
+type t = { num : int; den : int }
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  if num = 0 then { num = 0; den = 1 }
+  else
+    let s = if den < 0 then -1 else 1 in
+    let g = Int_math.gcd num den in
+    { num = s * num / g; den = s * den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.num
+let den t = t.den
+
+let add a b =
+  let g = Int_math.gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  let num =
+    Int_math.add_exact
+      (Int_math.mul_exact a.num db)
+      (Int_math.mul_exact b.num da)
+  in
+  make num (Int_math.mul_exact a.den db)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* Cross-cancel before multiplying to delay overflow. *)
+  let g1 = Int_math.gcd a.num b.den and g2 = Int_math.gcd b.num a.den in
+  make
+    (Int_math.mul_exact (a.num / g1) (b.num / g2))
+    (Int_math.mul_exact (a.den / g2) (b.den / g1))
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+let abs a = { a with num = Stdlib.abs a.num }
+let equal a b = a.num = b.num && a.den = b.den
+let sign a = compare a.num 0
+
+let compare a b =
+  (* Exact comparison via cross multiplication with cancellation. *)
+  sign (sub a b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_integer a = a.den = 1
+
+let to_int_exn a =
+  if a.den <> 1 then invalid_arg "Rat.to_int_exn: not an integer";
+  a.num
+
+let floor a = Int_math.floor_div a.num a.den
+let ceil a = Int_math.ceil_div a.num a.den
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,58 @@
+(** Exact rational arithmetic over native integers.
+
+    Rationals are kept in canonical form: the denominator is positive and
+    [gcd num den = 1].  Operations are overflow-checked via
+    {!Int_math.mul_exact}; the spaces handled by the partitioner are far
+    below the 62-bit range where this matters. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] normalizes the fraction; raises [Division_by_zero] if
+    [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+val to_int_exn : t -> int
+(** Raises [Invalid_argument] if the value is not an integer. *)
+
+val floor : t -> int
+val ceil : t -> int
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Infix operators, for use as [Rat.Infix.(a + b * c)]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

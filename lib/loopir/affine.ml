@@ -1,0 +1,66 @@
+open Matrixkit
+
+type t = { g : Imat.t; offset : Ivec.t }
+
+let make g offset =
+  if Ivec.dim offset <> Imat.cols g then
+    invalid_arg "Affine.make: offset length must equal columns of G";
+  { g; offset }
+
+let of_rows g_rows offset = make (Imat.of_rows g_rows) (Ivec.of_list offset)
+let g t = t.g
+let offset t = t.offset
+let nesting t = Imat.rows t.g
+let dims t = Imat.cols t.g
+let apply t i = Ivec.add (Imat.mul_row i t.g) t.offset
+let uniformly_generated a b = Imat.equal a.g b.g
+let translate t da = { t with offset = Ivec.add t.offset da }
+
+let drop_constant_dims t =
+  if Imat.has_zero_col t.g then
+    let keep =
+      List.filter
+        (fun j -> not (Ivec.is_zero (Imat.col t.g j)))
+        (List.init (Imat.cols t.g) Fun.id)
+    in
+    match keep with
+    | [] ->
+        (* Reference independent of all loop indices: keep one dimension. *)
+        ({ g = Imat.select_cols t.g [ 0 ]; offset = [| t.offset.(0) |] }, [ 0 ])
+    | _ ->
+        ( {
+            g = Imat.select_cols t.g keep;
+            offset = Array.of_list (List.map (fun j -> t.offset.(j)) keep);
+          },
+          keep )
+  else (t, List.init (Imat.cols t.g) Fun.id)
+
+let equal a b = Imat.equal a.g b.g && Ivec.equal a.offset b.offset
+
+let subscript_strings ~vars t =
+  let l = nesting t and d = dims t in
+  if Array.length vars <> l then
+    invalid_arg "Affine.subscript_strings: wrong number of variable names";
+  List.init d (fun j ->
+      let buf = Buffer.create 16 in
+      let first = ref true in
+      for i = 0 to l - 1 do
+        let c = Imat.get t.g i j in
+        if c <> 0 then begin
+          if !first then begin
+            if c < 0 then Buffer.add_char buf '-'
+          end
+          else Buffer.add_string buf (if c < 0 then "-" else "+");
+          if abs c <> 1 then Buffer.add_string buf (string_of_int (abs c));
+          Buffer.add_string buf vars.(i);
+          first := false
+        end
+      done;
+      let a = t.offset.(j) in
+      if !first then Buffer.add_string buf (string_of_int a)
+      else if a > 0 then Buffer.add_string buf ("+" ^ string_of_int a)
+      else if a < 0 then Buffer.add_string buf (string_of_int a);
+      Buffer.contents buf)
+
+let pp ~vars ppf t =
+  Format.pp_print_string ppf (String.concat ", " (subscript_strings ~vars t))

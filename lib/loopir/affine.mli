@@ -1,0 +1,47 @@
+(** Affine index functions [g(i) = i*G + a] (Equation 1 of the paper).
+
+    [g] maps an iteration-space point (a row vector of length [l], the loop
+    nesting) to a data-space point (a row vector of length [d], the array
+    dimension).  [G] is an [l x d] integer matrix and [a] an integer offset
+    row vector of length [d]. *)
+
+open Matrixkit
+
+type t = private { g : Imat.t; offset : Ivec.t }
+
+val make : Imat.t -> Ivec.t -> t
+(** Raises [Invalid_argument] if the offset length differs from the number
+    of columns of [g]. *)
+
+val of_rows : int list list -> int list -> t
+(** [of_rows g_rows offset] builds from row lists of [G]. *)
+
+val g : t -> Imat.t
+val offset : t -> Ivec.t
+val nesting : t -> int
+(** Number of loop indices [l] (rows of [G]). *)
+
+val dims : t -> int
+(** Array dimension [d] (columns of [G]). *)
+
+val apply : t -> Ivec.t -> Ivec.t
+(** [apply f i] is the data element [i*G + a] accessed at iteration [i]. *)
+
+val uniformly_generated : t -> t -> bool
+(** Definition 5: same [G] matrix. *)
+
+val translate : t -> Ivec.t -> t
+(** [translate f da] adds [da] to the offset. *)
+
+val drop_constant_dims : t -> t * int list
+(** Example 1's reduction: remove array dimensions whose [G]-column is all
+    zero (the subscript does not depend on any loop index).  Returns the
+    reduced function and the kept column indices.  If every column is zero
+    (a scalar-like reference) the result keeps a single zero column so the
+    shape stays well-formed. *)
+
+val equal : t -> t -> bool
+val pp : vars:string array -> Format.formatter -> t -> unit
+(** Prints subscripts like [i+j+4, i-j+3] given loop-variable names. *)
+
+val subscript_strings : vars:string array -> t -> string list

@@ -1,0 +1,88 @@
+open Matrixkit
+
+(* Affine expressions are a sparse map var-index -> coefficient plus a
+   constant. *)
+type expr = { coeffs : (int * int) list; const : int }
+
+let var k =
+  if k < 0 then invalid_arg "Dsl.var: negative index";
+  { coeffs = [ (k, 1) ]; const = 0 }
+
+let int c = { coeffs = []; const = c }
+
+let merge_coeffs a b =
+  let tbl = Hashtbl.create 8 in
+  let bump (k, c) =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+    Hashtbl.replace tbl k (cur + c)
+  in
+  List.iter bump a;
+  List.iter bump b;
+  Hashtbl.fold (fun k c acc -> if c = 0 then acc else (k, c) :: acc) tbl []
+  |> List.sort compare
+
+let ( + ) a b =
+  { coeffs = merge_coeffs a.coeffs b.coeffs; const = Stdlib.( + ) a.const b.const }
+
+let neg a =
+  {
+    coeffs = List.map (fun (k, c) -> (k, Stdlib.( ~- ) c)) a.coeffs;
+    const = Stdlib.( ~- ) a.const;
+  }
+
+let ( - ) a b = a + neg b
+
+let ( * ) k a =
+  {
+    coeffs =
+      List.filter_map
+        (fun (i, c) ->
+          let c' = Stdlib.( * ) k c in
+          if c' = 0 then None else Some (i, c'))
+        a.coeffs;
+    const = Stdlib.( * ) k a.const;
+  }
+
+type ref_spec = { array_name : string; kind : Reference.kind; subs : expr list }
+
+let read array_name subs = { array_name; kind = Reference.Read; subs }
+let write array_name subs = { array_name; kind = Reference.Write; subs }
+
+let accumulate array_name subs =
+  { array_name; kind = Reference.Accumulate; subs }
+
+let doall = Nest.loop
+let doseq = Nest.loop
+
+let affine_of_exprs ~nesting subs =
+  if subs = [] then invalid_arg "Dsl: reference with no subscripts";
+  let d = List.length subs in
+  let g =
+    Imat.make nesting d (fun i j ->
+        let e = List.nth subs j in
+        Option.value ~default:0 (List.assoc_opt i e.coeffs))
+  in
+  (* Reject subscripts mentioning out-of-range variables. *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (k, _) ->
+          if k >= nesting then
+            invalid_arg
+              (Printf.sprintf "Dsl: subscript uses var %d but nesting is %d" k
+                 nesting))
+        e.coeffs)
+    subs;
+  let offset = Array.of_list (List.map (fun e -> e.const) subs) in
+  Affine.make g offset
+
+let reference_of_spec ~nesting s =
+  {
+    Reference.array_name = s.array_name;
+    kind = s.kind;
+    index = affine_of_exprs ~nesting s.subs;
+  }
+
+let nest ?name ?seq loops specs =
+  let nesting = List.length loops in
+  Nest.make ?name ?seq loops (List.map (reference_of_spec ~nesting) specs)

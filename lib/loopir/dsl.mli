@@ -1,0 +1,53 @@
+(** Combinator DSL for building loop nests.
+
+    Example — the paper's Example 2:
+    {[
+      let open Loopir.Dsl in
+      let i = var 0 and j = var 1 in
+      nest ~name:"example2"
+        [ doall "i" 101 200; doall "j" 1 100 ]
+        [
+          write "A" [ i; j ];
+          read "B" [ i + j; i - j - int 1 ];
+          read "B" [ i + j + int 4; i - j + int 3 ];
+        ]
+    ]}
+
+    Subscript expressions are affine: variables may be scaled by integer
+    constants and added; multiplying two variables raises
+    [Invalid_argument]. *)
+
+type expr
+(** An affine expression in the loop indices. *)
+
+val var : int -> expr
+(** [var k] is the [k]-th loop index (outermost is 0). *)
+
+val int : int -> expr
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : int -> expr -> expr
+(** Constant scaling, e.g. [2 * var 0]. *)
+
+val neg : expr -> expr
+
+type ref_spec
+
+val read : string -> expr list -> ref_spec
+val write : string -> expr list -> ref_spec
+val accumulate : string -> expr list -> ref_spec
+
+val doall : string -> int -> int -> Nest.loop
+val doseq : string -> int -> int -> Nest.loop
+
+val nest :
+  ?name:string -> ?seq:Nest.loop -> Nest.loop list -> ref_spec list -> Nest.t
+(** Builds the nest, inferring [l] from the loop list and converting each
+    subscript list into the [(G, a)] form. *)
+
+val affine_of_exprs : nesting:int -> expr list -> Affine.t
+(** Expose the conversion for tests. *)
+
+val reference_of_spec : nesting:int -> ref_spec -> Reference.t
+(** Convert one reference spec (used by the parser, which builds strided
+    nests before normalization). *)

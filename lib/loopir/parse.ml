@@ -1,0 +1,237 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Plus
+  | Minus
+  | Star
+  | Comma
+  | Lbrack
+  | Rbrack
+  | Eq
+  | Ldollar
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize ~lineno line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '#' then i := n
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit line.[!j] do
+        incr j
+      done;
+      toks := Int (int_of_string (String.sub line !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else if c = 'l' && !i + 1 < n && line.[!i + 1] = '$' then begin
+      toks := Ldollar :: !toks;
+      i := !i + 2
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref !i in
+      while !j < n && is_ident_char line.[!j] do
+        incr j
+      done;
+      toks := Ident (String.sub line !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else begin
+      (match c with
+      | '+' -> toks := Plus :: !toks
+      | '-' -> toks := Minus :: !toks
+      | '*' -> toks := Star :: !toks
+      | ',' -> toks := Comma :: !toks
+      | '[' | '(' -> toks := Lbrack :: !toks
+      | ']' | ')' -> toks := Rbrack :: !toks
+      | '=' -> toks := Eq :: !toks
+      | _ -> fail "line %d: unexpected character %C" lineno c);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Expression parser (over a token list)                               *)
+(* ------------------------------------------------------------------ *)
+
+let var_index vars name =
+  let rec go i =
+    if i >= Array.length vars then fail "unknown loop variable %S" name
+    else if vars.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+(* term := ["-"] [int "*"] ident | ["-"] int *)
+let rec parse_term ~vars toks =
+  match toks with
+  | Minus :: rest ->
+      let e, rest = parse_term ~vars rest in
+      (Dsl.neg e, rest)
+  | Int k :: Star :: Ident v :: rest ->
+      (Dsl.( * ) k (Dsl.var (var_index vars v)), rest)
+  | Int k :: Ident v :: rest ->
+      (* allow "2i" as shorthand for 2*i *)
+      (Dsl.( * ) k (Dsl.var (var_index vars v)), rest)
+  | Int k :: rest -> (Dsl.int k, rest)
+  | Ident v :: rest -> (Dsl.var (var_index vars v), rest)
+  | _ -> fail "expected a subscript term"
+
+and parse_expr ~vars toks =
+  let first, rest = parse_term ~vars toks in
+  let rec go acc toks =
+    match toks with
+    | Plus :: rest ->
+        let t, rest = parse_term ~vars rest in
+        go (Dsl.( + ) acc t) rest
+    | Minus :: rest ->
+        let t, rest = parse_term ~vars rest in
+        go (Dsl.( - ) acc t) rest
+    | _ -> (acc, toks)
+  in
+  go first rest
+
+let expr_of_string ~vars s =
+  match parse_expr ~vars (tokenize ~lineno:0 s) with
+  | e, [] -> e
+  | _, _ -> fail "trailing tokens in expression %S" s
+
+(* ------------------------------------------------------------------ *)
+(* Reference and statement parsing                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ref ~vars toks =
+  let accum, toks =
+    match toks with Ldollar :: rest -> (true, rest) | _ -> (false, toks)
+  in
+  match toks with
+  | Ident name :: Lbrack :: rest ->
+      let rec subs acc toks =
+        let e, toks = parse_expr ~vars toks in
+        match toks with
+        | Comma :: rest -> subs (e :: acc) rest
+        | Rbrack :: rest -> (List.rev (e :: acc), rest)
+        | _ -> fail "expected ',' or ']' in subscripts of %s" name
+      in
+      let exprs, rest = subs [] rest in
+      ((name, accum, exprs), rest)
+  | _ -> fail "expected an array reference"
+
+let parse_stmt ~vars toks =
+  let (lhs_name, lhs_accum, lhs_subs), toks = parse_ref ~vars toks in
+  (match toks with
+  | Eq :: _ -> ()
+  | _ -> fail "expected '=' after left-hand side");
+  let toks = List.tl toks in
+  let rec rhs acc toks =
+    (* On the right-hand side an l$ reference is just a read; the atomic
+       update semantics is carried by the left-hand side. *)
+    let (name, _accum, subs), toks = parse_ref ~vars toks in
+    let acc = Dsl.read name subs :: acc in
+    match toks with
+    | Plus :: rest -> rhs acc rest
+    | [] -> List.rev acc
+    | _ -> fail "expected '+' between right-hand-side references"
+  in
+  let reads = rhs [] toks in
+  let lhs =
+    if lhs_accum then Dsl.accumulate lhs_name lhs_subs
+    else Dsl.write lhs_name lhs_subs
+  in
+  (* An accumulate both reads and writes its target; the paper treats it
+     as a write for coherence, but the read is part of the body too. *)
+  lhs :: reads
+
+(* ------------------------------------------------------------------ *)
+(* Nest parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_signed ~lineno = function
+  | Minus :: Int n :: rest -> (-n, rest)
+  | Int n :: rest -> (n, rest)
+  | _ -> fail "line %d: expected an integer" lineno
+
+let parse_header ~lineno toks =
+  match toks with
+  | Ident kw :: Ident v :: Eq :: rest when kw = "doall" || kw = "doseq" -> (
+      let lo, rest = parse_signed ~lineno rest in
+      match rest with
+      | Ident "to" :: rest -> (
+          let hi, rest = parse_signed ~lineno rest in
+          match rest with
+          | [] -> (kw, v, lo, hi, 1)
+          | [ Ident "step"; Int s ] when s >= 1 -> (kw, v, lo, hi, s)
+          | _ -> fail "line %d: expected end of line or 'step N'" lineno)
+      | _ -> fail "line %d: expected 'to'" lineno)
+  | _ -> fail "line %d: expected 'doall v = lo to hi [step s]'" lineno
+
+let nest_of_string ?(name = "parsed") src =
+  let lines = String.split_on_char '\n' src in
+  let tokenized =
+    List.mapi (fun idx l -> (idx + 1, tokenize ~lineno:(idx + 1) l)) lines
+    |> List.filter (fun (_, toks) -> toks <> [])
+  in
+  let rec split_headers acc = function
+    | (lineno, (Ident kw :: _ as toks)) :: rest
+      when kw = "doall" || kw = "doseq" ->
+        split_headers (parse_header ~lineno toks :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let headers, stmt_lines = split_headers [] tokenized in
+  let seq, doalls =
+    match headers with
+    | ("doseq", v, lo, hi, s) :: rest -> (Some (Strided.loop ~step:s v lo hi), rest)
+    | rest -> (None, rest)
+  in
+  List.iter
+    (fun (kw, _, _, _, _) ->
+      if kw = "doseq" then fail "doseq must be the outermost loop")
+    doalls;
+  if doalls = [] then fail "no doall loops found";
+  let loops =
+    List.map (fun (_, v, lo, hi, s) -> Strided.loop ~step:s v lo hi) doalls
+  in
+  let vars = Array.of_list (List.map (fun (_, v, _, _, _) -> v) doalls) in
+  match stmt_lines with
+  | [ (_, toks) ] ->
+      let specs = parse_stmt ~vars toks in
+      let body =
+        List.map
+          (fun (s : Dsl.ref_spec) ->
+            Dsl.reference_of_spec ~nesting:(List.length loops) s)
+          specs
+      in
+      let strided = Strided.make ~name ?seq loops body in
+      if Strided.is_normalized strided then
+        (* Unit strides: keep the user's bounds as written. *)
+        Nest.make ~name
+          ?seq:
+            (Option.map
+               (fun (s : Strided.loop) ->
+                 Nest.loop s.Strided.var s.Strided.lower s.Strided.upper)
+               seq)
+          (List.map
+             (fun (l : Strided.loop) ->
+               Nest.loop l.Strided.var l.Strided.lower l.Strided.upper)
+             loops)
+          body
+      else Strided.normalize strided
+  | [] -> fail "no statement line found"
+  | (lineno, _) :: _ :: _ -> fail "line %d: expected a single statement" lineno

@@ -1,0 +1,24 @@
+(** Parser for a tiny Doall surface syntax, standing in for the Alewife
+    compiler's front end (Mul-T / Semi-C).
+
+    Grammar (one construct per line; [#] starts a comment):
+    {v
+    nest      := [seq-line] doall-line+ stmt-line
+    seq-line  := "doseq" ident "=" int "to" int
+    doall-line:= "doall" ident "=" int "to" int
+    stmt-line := ref "=" ref ("+" ref)*
+    ref       := ["l$"] ident "[" expr ("," expr)* "]"
+    expr      := term (("+"|"-") term)*
+    term      := ["-"] [int "*"] ident | ["-"] int
+    v}
+
+    The left-hand side of the statement is a write (an atomic accumulate
+    when prefixed by [l$], as in the paper's Appendix A); right-hand side
+    references are reads. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message including the line number. *)
+
+val nest_of_string : ?name:string -> string -> Nest.t
+val expr_of_string : vars:string array -> string -> Dsl.expr
+(** Parse a single subscript expression given loop-variable names. *)

@@ -1,0 +1,24 @@
+type kind = Read | Write | Accumulate
+
+type t = { array_name : string; kind : kind; index : Affine.t }
+
+let read array_name index = { array_name; kind = Read; index }
+let write array_name index = { array_name; kind = Write; index }
+let accumulate array_name index = { array_name; kind = Accumulate; index }
+
+let is_write_like t =
+  match t.kind with Write | Accumulate -> true | Read -> false
+
+let kind_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Accumulate -> "accumulate"
+
+let equal a b =
+  String.equal a.array_name b.array_name
+  && a.kind = b.kind
+  && Affine.equal a.index b.index
+
+let pp ~vars ppf t =
+  let prefix = match t.kind with Accumulate -> "l$" | Read | Write -> "" in
+  Format.fprintf ppf "%s%s[%a]" prefix t.array_name (Affine.pp ~vars) t.index

@@ -1,0 +1,21 @@
+(** Array references appearing in a loop body.
+
+    A reference couples an array name, an access kind and an affine index
+    function.  [Accumulate] models the paper's Appendix A "l$" atomic
+    accumulates: reads-modify-writes that the coherence protocol treats as
+    writes, with a slightly higher communication cost. *)
+
+type kind = Read | Write | Accumulate
+
+type t = { array_name : string; kind : kind; index : Affine.t }
+
+val read : string -> Affine.t -> t
+val write : string -> Affine.t -> t
+val accumulate : string -> Affine.t -> t
+
+val is_write_like : t -> bool
+(** [Write] and [Accumulate] both invalidate cached copies. *)
+
+val kind_to_string : kind -> string
+val equal : t -> t -> bool
+val pp : vars:string array -> Format.formatter -> t -> unit

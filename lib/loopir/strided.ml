@@ -1,0 +1,57 @@
+open Matrixkit
+
+type loop = { var : string; lower : int; upper : int; step : int }
+
+type t = {
+  name : string;
+  seq : loop option;
+  loops : loop list;
+  body : Reference.t list;
+}
+
+let loop ?(step = 1) var lower upper =
+  if step < 1 then invalid_arg "Strided.loop: step must be >= 1";
+  if lower > upper then invalid_arg "Strided.loop: empty bounds";
+  { var; lower; upper; step }
+
+let make ?(name = "loop") ?seq loops body =
+  if loops = [] then invalid_arg "Strided.make: no parallel loops";
+  let l = List.length loops in
+  List.iter
+    (fun (r : Reference.t) ->
+      if Affine.nesting r.Reference.index <> l then
+        invalid_arg "Strided.make: reference arity mismatch")
+    body;
+  { name; seq; loops; body }
+
+let is_normalized t =
+  List.for_all (fun l -> l.step = 1) t.loops
+  && match t.seq with Some s -> s.step = 1 | None -> true
+
+let iteration_values l =
+  List.init (((l.upper - l.lower) / l.step) + 1) (fun k ->
+      l.lower + (k * l.step))
+
+let normalize t =
+  let l = List.length t.loops in
+  let steps = Array.of_list (List.map (fun lp -> lp.step) t.loops) in
+  let lowers = Array.of_list (List.map (fun lp -> lp.lower) t.loops) in
+  let unit_loops =
+    List.map
+      (fun lp -> Nest.loop lp.var 0 ((lp.upper - lp.lower) / lp.step))
+      t.loops
+  in
+  let substitute (r : Reference.t) =
+    let g = Affine.g r.Reference.index in
+    let g' = Imat.make l (Imat.cols g) (fun i j -> steps.(i) * Imat.get g i j) in
+    let offset' =
+      Ivec.add (Imat.mul_row lowers g) (Affine.offset r.Reference.index)
+    in
+    { r with Reference.index = Affine.make g' offset' }
+  in
+  let seq =
+    Option.map
+      (fun s -> Nest.loop s.var 0 ((s.upper - s.lower) / s.step))
+      t.seq
+  in
+  Nest.make ~name:t.name ?seq unit_loops (List.map substitute t.body)

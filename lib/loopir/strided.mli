@@ -1,0 +1,32 @@
+(** Strided loops and their normalization.
+
+    The framework (following Section 2.1) assumes unit strides.  Real
+    front ends meet that assumption with a normalization pass: a loop
+    [for i = lo to hi step s] becomes [for i' = 0 to (hi-lo)/s] with
+    [i = lo + s*i'] substituted into every subscript.  The substitution
+    maps a reference [(G, a)] to [(S G, lo*G + a)] where [S = diag(s)] -
+    which is exactly how non-unimodular [G] matrices like [A[2i]] arise
+    in practice, and the footprint machinery handles them. *)
+
+type loop = { var : string; lower : int; upper : int; step : int }
+(** [step >= 1]; the index takes the values [lower, lower+step, ...]
+    up to [upper]. *)
+
+type t = {
+  name : string;
+  seq : loop option;
+  loops : loop list;
+  body : Reference.t list;
+}
+
+val loop : ?step:int -> string -> int -> int -> loop
+val make : ?name:string -> ?seq:loop -> loop list -> Reference.t list -> t
+
+val is_normalized : t -> bool
+(** All steps are 1. *)
+
+val normalize : t -> Nest.t
+(** The unit-stride nest accessing exactly the same data elements. *)
+
+val iteration_values : loop -> int list
+(** The index values the loop visits (for tests). *)

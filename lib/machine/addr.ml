@@ -1,0 +1,34 @@
+open Matrixkit
+
+type key = string * int list
+
+type t = {
+  forward : (key, int) Hashtbl.t;
+  mutable reverse : key array;
+  mutable next : int;
+}
+
+let create () =
+  { forward = Hashtbl.create 4096; reverse = Array.make 4096 ("", []); next = 0 }
+
+let id t name (point : Ivec.t) =
+  let key = (name, Array.to_list point) in
+  match Hashtbl.find_opt t.forward key with
+  | Some a -> a
+  | None ->
+      let a = t.next in
+      Hashtbl.add t.forward key a;
+      if a >= Array.length t.reverse then begin
+        let bigger = Array.make (2 * Array.length t.reverse) ("", []) in
+        Array.blit t.reverse 0 bigger 0 (Array.length t.reverse);
+        t.reverse <- bigger
+      end;
+      t.reverse.(a) <- key;
+      t.next <- a + 1;
+      a
+
+let element_of t a =
+  if a < 0 || a >= t.next then invalid_arg "Addr.element_of: unknown address";
+  t.reverse.(a)
+
+let size t = t.next

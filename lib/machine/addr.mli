@@ -1,0 +1,23 @@
+(** Address interning: maps (array, element) pairs to dense integer
+    addresses and back.
+
+    The simulator models caches and directories keyed by address; arrays
+    may have negative or sparse index ranges (subscripts like [i-j-1]), so
+    a dense pre-allocation is impractical.  Addresses are handed out in
+    first-touch order, deterministically for a fixed access sequence.
+    Cache lines are one element long, as assumed in Section 2.2. *)
+
+open Matrixkit
+
+type t
+
+val create : unit -> t
+
+val id : t -> string -> Ivec.t -> int
+(** Intern (array, element); stable across repeated calls. *)
+
+val element_of : t -> int -> string * int list
+(** Reverse lookup (array name, element coordinates). *)
+
+val size : t -> int
+(** Number of distinct elements seen so far. *)

@@ -1,0 +1,99 @@
+type geometry = Infinite | Finite of { sets : int; ways : int }
+
+type state = Shared | Modified
+
+(* Finite caches keep, per set, an LRU-ordered association list (most
+   recent first).  Sets are small (ways <= 16 in practice), so lists are
+   fine. *)
+type t = {
+  geometry : geometry;
+  lines : (int, state) Hashtbl.t;  (* used when infinite *)
+  sets : (int * state) list array;  (* used when finite *)
+}
+
+let create geometry =
+  match geometry with
+  | Infinite ->
+      { geometry; lines = Hashtbl.create 4096; sets = Array.make 1 [] }
+  | Finite { sets; ways } ->
+      if sets < 1 || ways < 1 then
+        invalid_arg "Cache.create: sets and ways must be positive";
+      { geometry; lines = Hashtbl.create 1; sets = Array.make sets [] }
+
+let set_index t addr =
+  match t.geometry with
+  | Infinite -> 0
+  | Finite { sets; _ } -> addr mod sets
+
+let lookup t addr =
+  match t.geometry with
+  | Infinite -> Hashtbl.find_opt t.lines addr
+  | Finite _ -> List.assoc_opt addr t.sets.(set_index t addr)
+
+let touch_lru t addr =
+  match t.geometry with
+  | Infinite -> ()
+  | Finite _ ->
+      let s = set_index t addr in
+      match List.assoc_opt addr t.sets.(s) with
+      | None -> ()
+      | Some st ->
+          t.sets.(s) <-
+            (addr, st) :: List.remove_assoc addr t.sets.(s)
+
+let insert t addr state =
+  match t.geometry with
+  | Infinite ->
+      Hashtbl.replace t.lines addr state;
+      None
+  | Finite { ways; _ } ->
+      let s = set_index t addr in
+      let without = List.remove_assoc addr t.sets.(s) in
+      if List.length without < ways then begin
+        t.sets.(s) <- (addr, state) :: without;
+        None
+      end
+      else begin
+        (* Evict the least recently used line. *)
+        let rec split_last acc = function
+          | [] -> assert false
+          | [ (a, _) ] -> (List.rev acc, a)
+          | x :: rest -> split_last (x :: acc) rest
+        in
+        let kept, victim = split_last [] without in
+        t.sets.(s) <- (addr, state) :: kept;
+        Some victim
+      end
+
+let set_state t addr state =
+  match t.geometry with
+  | Infinite ->
+      if Hashtbl.mem t.lines addr then Hashtbl.replace t.lines addr state
+  | Finite _ ->
+      let s = set_index t addr in
+      if List.mem_assoc addr t.sets.(s) then
+        t.sets.(s) <-
+          List.map
+            (fun (a, st) -> if a = addr then (a, state) else (a, st))
+            t.sets.(s)
+
+let invalidate t addr =
+  match t.geometry with
+  | Infinite -> Hashtbl.remove t.lines addr
+  | Finite _ ->
+      let s = set_index t addr in
+      t.sets.(s) <- List.remove_assoc addr t.sets.(s)
+
+let resident t addr = Option.is_some (lookup t addr)
+
+let occupancy t =
+  match t.geometry with
+  | Infinite -> Hashtbl.length t.lines
+  | Finite _ -> Array.fold_left (fun acc l -> acc + List.length l) 0 t.sets
+
+(* touch_lru is part of lookup's contract for finite caches: callers that
+   count a hit should refresh recency. *)
+let lookup t addr =
+  let r = lookup t addr in
+  if r <> None then touch_lru t addr;
+  r

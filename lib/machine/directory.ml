@@ -1,0 +1,51 @@
+module ISet = Set.Make (Int)
+
+type entry = { mutable sharers : ISet.t; mutable owner : int option }
+
+type t = (int, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 4096
+
+let entry t addr =
+  match Hashtbl.find_opt t addr with
+  | Some e -> e
+  | None ->
+      let e = { sharers = ISet.empty; owner = None } in
+      Hashtbl.add t addr e;
+      e
+
+let sharers t addr =
+  match Hashtbl.find_opt t addr with
+  | None -> []
+  | Some e -> ISet.elements e.sharers
+
+let owner t addr =
+  match Hashtbl.find_opt t addr with None -> None | Some e -> e.owner
+
+let add_sharer t addr p =
+  let e = entry t addr in
+  e.sharers <- ISet.add p e.sharers
+
+let set_owner t addr p =
+  let e = entry t addr in
+  e.sharers <- ISet.singleton p;
+  e.owner <- Some p
+
+let downgrade_owner t addr =
+  match Hashtbl.find_opt t addr with
+  | None -> ()
+  | Some e -> e.owner <- None
+
+let remove t addr p =
+  match Hashtbl.find_opt t addr with
+  | None -> ()
+  | Some e ->
+      e.sharers <- ISet.remove p e.sharers;
+      if e.owner = Some p then e.owner <- None
+
+let clear t addr =
+  match Hashtbl.find_opt t addr with
+  | None -> ()
+  | Some e ->
+      e.sharers <- ISet.empty;
+      e.owner <- None

@@ -1,0 +1,28 @@
+(** Full-map directory (one entry per memory line, as in Alewife's
+    LimitLESS ancestor schemes, simplified to a full bit vector).
+
+    Tracks, per address, the set of caches holding the line and which of
+    them (if any) holds it Modified. *)
+
+type t
+
+val create : unit -> t
+
+val sharers : t -> int -> int list
+(** Caches holding the line (in Shared or Modified state). *)
+
+val owner : t -> int -> int option
+(** The cache holding the line Modified, if any. *)
+
+val add_sharer : t -> int -> int -> unit
+val set_owner : t -> int -> int -> unit
+(** Make the processor the exclusive Modified holder. *)
+
+val downgrade_owner : t -> int -> unit
+(** Owner drops to Shared (stays a sharer). *)
+
+val remove : t -> int -> int -> unit
+(** Drop one cache from the sharer set. *)
+
+val clear : t -> int -> unit
+(** Drop all sharers (e.g. after invalidation broadcast). *)

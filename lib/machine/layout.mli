@@ -1,0 +1,34 @@
+(** Row-major array layout: the memory map that makes cache lines longer
+    than one element meaningful (the paper assumes unit lines in
+    Section 2.2 and points at Abraham-Hudak for the extension; this
+    module provides it).
+
+    Each array of a nest is laid out row-major over the bounding box of
+    the region its references can touch, with its base address aligned up
+    to [line_align] so lines never straddle two arrays.  The {e last}
+    array dimension is contiguous in memory. *)
+
+open Matrixkit
+open Loopir
+
+type t
+
+val of_nest : ?line_align:int -> Nest.t -> t
+(** [line_align] defaults to 1 (elements); pass the line size so bases
+    are line-aligned. *)
+
+val address : t -> string -> Ivec.t -> int
+(** Global element address.  Raises [Invalid_argument] for an unknown
+    array or a point outside its bounding box. *)
+
+val line : t -> line_size:int -> string -> Ivec.t -> int
+(** The cache-line index holding the element: [address / line_size]. *)
+
+val element_of : t -> int -> string * int list
+(** Reverse map of {!address}. *)
+
+val total_elements : t -> int
+(** Footprint of the whole layout (sum of bounding-box volumes, plus
+    alignment padding). *)
+
+val pp : Format.formatter -> t -> unit

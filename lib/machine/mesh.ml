@@ -1,0 +1,33 @@
+type kind = Mesh | Uniform
+
+type t = { kind : kind; nprocs : int; cols : int }
+
+let mesh ~nprocs =
+  if nprocs < 1 then invalid_arg "Mesh.mesh: nprocs < 1";
+  let cols = Intmath.Int_math.isqrt nprocs in
+  let cols = if cols * cols < nprocs then cols + 1 else cols in
+  { kind = Mesh; nprocs; cols }
+
+let uniform ~nprocs =
+  if nprocs < 1 then invalid_arg "Mesh.uniform: nprocs < 1";
+  { kind = Uniform; nprocs; cols = max 1 nprocs }
+
+let nprocs t = t.nprocs
+let coords t p = (p mod t.cols, p / t.cols)
+
+let distance t a b =
+  if a = b then 0
+  else
+    match t.kind with
+    | Uniform -> 1
+    | Mesh ->
+        let xa, ya = coords t a and xb, yb = coords t b in
+        abs (xa - xb) + abs (ya - yb)
+
+let is_uniform t = t.kind = Uniform
+
+let pp ppf t =
+  match t.kind with
+  | Uniform -> Format.fprintf ppf "uniform(%d procs)" t.nprocs
+  | Mesh ->
+      Format.fprintf ppf "mesh(%d procs, %d cols)" t.nprocs t.cols

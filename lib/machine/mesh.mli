@@ -1,0 +1,20 @@
+(** 2-D mesh interconnect (the Alewife topology, Section 4).
+
+    Processors are laid out on a near-square grid; message cost is the
+    Manhattan hop distance.  A [Uniform] network models the paper's
+    bus / dance-hall configuration of Figure 2, where every memory access
+    costs the same regardless of placement. *)
+
+type t
+
+val mesh : nprocs:int -> t
+val uniform : nprocs:int -> t
+
+val nprocs : t -> int
+val coords : t -> int -> int * int
+val distance : t -> int -> int -> int
+(** Hop distance between two processors (0 for self; 1 between any pair
+    under [uniform] so that remote and local remain distinguishable). *)
+
+val is_uniform : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+type strategy = Linear | Snake | Folded | Serpentine | Shuffled of int
+
+let grid_size grid = Array.fold_left ( * ) 1 grid
+
+let coords_of_index grid idx =
+  let n = Array.length grid in
+  let c = Array.make n 0 in
+  let rem = ref idx in
+  for k = n - 1 downto 0 do
+    c.(k) <- !rem mod grid.(k);
+    rem := !rem / grid.(k)
+  done;
+  c
+
+let index_of_coords grid c =
+  let acc = ref 0 in
+  Array.iteri (fun k v -> acc := (!acc * grid.(k)) + v) c;
+  !acc
+
+let snake_coords grid c =
+  (* Reverse each dimension's direction whenever the prefix of higher
+     dimensions sums odd - the classic boustrophedon walk. *)
+  let n = Array.length grid in
+  let c' = Array.copy c in
+  let flip = ref false in
+  for k = 0 to n - 1 do
+    if !flip then c'.(k) <- grid.(k) - 1 - c.(k);
+    if c'.(k) land 1 = 1 then flip := not !flip
+  done;
+  c'
+
+let folded_coords grid c =
+  (* Snake only the second dimension based on the first - pairs well
+     with a near-square mesh. *)
+  let c' = Array.copy c in
+  if Array.length grid >= 2 && c.(0) land 1 = 1 then
+    c'.(1) <- grid.(1) - 1 - c.(1);
+  c'
+
+(* Deterministic LCG-driven Fisher-Yates. *)
+let shuffled_perm seed n =
+  let state = ref (seed lor 1) in
+  let next () =
+    state := (!state * 0x5851F42D4C957F2D) + 0x14057B7EF767814F;
+    (!state lsr 33) land max_int
+  in
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = next () mod (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  perm
+
+(* Physical processor ids in boustrophedon order of their mesh
+   coordinates: walking the list visits mesh neighbours only. *)
+let serpentine_order mesh n =
+  let cells = List.init n (fun p -> (p, Mesh.coords mesh p)) in
+  let key (_, (x, y)) = (y, if y land 1 = 0 then x else -x) in
+  List.map fst (List.sort (fun a b -> compare (key a) (key b)) cells)
+
+let permutation strategy ~grid ~mesh =
+  let n = grid_size grid in
+  match strategy with
+  | Linear -> Array.init n Fun.id
+  | Snake ->
+      Array.init n (fun idx ->
+          index_of_coords grid (snake_coords grid (coords_of_index grid idx)))
+  | Folded ->
+      Array.init n (fun idx ->
+          index_of_coords grid (folded_coords grid (coords_of_index grid idx)))
+  | Serpentine -> Array.of_list (serpentine_order mesh n)
+  | Shuffled seed -> shuffled_perm seed n
+
+let neighbor_hop_cost ~grid ~mesh perm =
+  let n = grid_size grid in
+  if Array.length perm <> n then
+    invalid_arg "Placement_map.neighbor_hop_cost: permutation size";
+  let total = ref 0 in
+  for idx = 0 to n - 1 do
+    let c = coords_of_index grid idx in
+    Array.iteri
+      (fun k _ ->
+        if c.(k) + 1 < grid.(k) then begin
+          let c' = Array.copy c in
+          c'.(k) <- c.(k) + 1;
+          let j = index_of_coords grid c' in
+          total := !total + Mesh.distance mesh perm.(idx) perm.(j)
+        end)
+      grid
+  done;
+  !total
+
+let pp_strategy ppf = function
+  | Linear -> Format.pp_print_string ppf "linear"
+  | Snake -> Format.pp_print_string ppf "snake"
+  | Folded -> Format.pp_print_string ppf "folded"
+  | Serpentine -> Format.pp_print_string ppf "serpentine"
+  | Shuffled s -> Format.fprintf ppf "shuffled(%d)" s
+
+let best ~grid ~mesh =
+  let candidates = [ Linear; Snake; Folded; Serpentine; Shuffled 42 ] in
+  let scored =
+    List.map
+      (fun s ->
+        let p = permutation s ~grid ~mesh in
+        (s, p, neighbor_hop_cost ~grid ~mesh p))
+      candidates
+  in
+  List.fold_left
+    (fun (bs, bp, bc) (s, p, c) -> if c < bc then (s, p, c) else (bs, bp, bc))
+    (List.hd scored) (List.tl scored)

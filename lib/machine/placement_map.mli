@@ -1,0 +1,41 @@
+(** The Placement phase (Section 4): mapping virtual processors (tiles of
+    the processor grid) onto the physical mesh so that communicating
+    neighbours land close together.
+
+    Loop partitioning and data alignment assign work and data to
+    {e virtual} processors arranged in the tile grid; this module chooses
+    the virtual-to-physical permutation.  Communication in a partitioned
+    doall flows between grid neighbours (the footprint strips), so the
+    quality metric is the total mesh hop distance between grid-adjacent
+    virtual processors.  As the paper notes this is a second-order
+    effect; the experiments quantify exactly how second-order. *)
+
+type strategy =
+  | Linear  (** row-major linearization of the grid (the naive default) *)
+  | Snake  (** boustrophedon order over the grid: reverses odd rows to
+               keep neighbours adjacent across row boundaries *)
+  | Folded
+      (** snake applied to the two leading grid dimensions, matching a
+          2-D mesh's geometry *)
+  | Serpentine
+      (** virtual index order laid along a boustrophedon walk of the
+          physical mesh - consecutive virtual processors are always mesh
+          neighbours (ideal for chain-shaped grids) *)
+  | Shuffled of int  (** deterministic pseudo-random permutation (seed) *)
+
+val permutation : strategy -> grid:int array -> mesh:Mesh.t -> int array
+(** [permutation s ~grid ~mesh] maps virtual processor index (row-major
+    over the grid) to physical processor index; always a bijection on
+    [0 .. prod grid - 1]. *)
+
+val neighbor_hop_cost : grid:int array -> mesh:Mesh.t -> int array -> int
+(** Total mesh distance between physical images of grid-adjacent virtual
+    processors (each unordered pair counted once). *)
+
+val best : grid:int array -> mesh:Mesh.t -> strategy * int array * int
+(** The strategy with the lowest neighbour-hop cost among the built-in
+    ones (shuffled uses a fixed seed), with its permutation and cost.
+    Linear wins when the grid already matches the mesh; serpentine wins
+    for chains; shuffled never wins - which is the point. *)
+
+val pp_strategy : Format.formatter -> strategy -> unit

@@ -1,0 +1,39 @@
+type params = {
+  hit : float;
+  local_fill : float;
+  remote_fill_base : float;
+  per_hop : float;
+  upgrade : float;
+  sync_extra : float;
+}
+
+let alewife_like =
+  {
+    hit = 1.0;
+    local_fill = 11.0;
+    remote_fill_base = 38.0;
+    per_hop = 2.0;
+    upgrade = 6.0;
+    sync_extra = 10.0;
+  }
+
+let cycles (st : Stats.t) ~nprocs p =
+  if nprocs < 1 then invalid_arg "Timing.cycles: nprocs < 1";
+  let f = float_of_int in
+  let total =
+    (f st.Stats.hits *. p.hit)
+    +. (f st.Stats.local_fills *. p.local_fill)
+    +. (f st.Stats.remote_fills *. p.remote_fill_base)
+    +. (f st.Stats.network_hops *. p.per_hop)
+    +. (f st.Stats.upgrades *. p.upgrade)
+    +. (f st.Stats.sync_ops *. p.sync_extra)
+  in
+  total /. float_of_int nprocs
+
+let speedup ~baseline ~improved ~nprocs p =
+  cycles baseline ~nprocs p /. cycles improved ~nprocs p
+
+let pp_params ppf p =
+  Format.fprintf ppf
+    "hit %.0f, local %.0f, remote %.0f+%.0f/hop, upgrade %.0f, sync +%.0f"
+    p.hit p.local_fill p.remote_fill_base p.per_hop p.upgrade p.sync_extra

@@ -1,0 +1,31 @@
+(** Execution-time estimation.
+
+    Section 4 of the paper notes that the authors "were unable to isolate
+    the effect of cache miss reduction" on overall performance in time
+    for the paper.  This module closes that gap for the simulated
+    machine: it folds the event counts of a run into an estimated cycle
+    count per processor using a latency parameter set patterned after
+    Alewife-class machines (cached hit ~ 1 cycle, local memory ~ 10s of
+    cycles, remote access growing with hop distance, fine-grain
+    synchronization slightly more expensive than an ordinary write -
+    Appendix A's model). *)
+
+type params = {
+  hit : float;  (** cycles per cache hit *)
+  local_fill : float;  (** miss served by the local memory module *)
+  remote_fill_base : float;  (** remote miss, before hop costs *)
+  per_hop : float;  (** cycles per network hop of any message *)
+  upgrade : float;  (** write upgrade (ownership acquisition) *)
+  sync_extra : float;  (** extra cycles per l$ accumulate (Appendix A) *)
+}
+
+val alewife_like : params
+
+val cycles : Stats.t -> nprocs:int -> params -> float
+(** Estimated cycles per processor (events divided evenly across
+    processors; the doall model has no serial section). *)
+
+val speedup : baseline:Stats.t -> improved:Stats.t -> nprocs:int -> params -> float
+(** [cycles baseline / cycles improved]. *)
+
+val pp_params : Format.formatter -> params -> unit

@@ -1,0 +1,120 @@
+(* Row-style Hermite normal form by integer row reduction: repeatedly use
+   division steps (a gcd computation spread across rows) to clear each
+   column below its pivot, then reduce the entries above the pivot. *)
+
+let row_hnf g =
+  let r = Imat.rows g and c = Imat.cols g in
+  let h = Array.init r (fun i -> Imat.row g i) in
+  let u = Array.init r (fun i -> Array.init r (fun j -> if i = j then 1 else 0)) in
+  let swap i j =
+    let th = h.(i) in
+    h.(i) <- h.(j);
+    h.(j) <- th;
+    let tu = u.(i) in
+    u.(i) <- u.(j);
+    u.(j) <- tu
+  in
+  let sub_row i j q =
+    (* row_i <- row_i - q * row_j *)
+    h.(i) <- Array.mapi (fun k x -> x - (q * h.(j).(k))) h.(i);
+    u.(i) <- Array.mapi (fun k x -> x - (q * u.(j).(k))) u.(i)
+  in
+  let negate i =
+    h.(i) <- Array.map (fun x -> -x) h.(i);
+    u.(i) <- Array.map (fun x -> -x) u.(i)
+  in
+  let pr = ref 0 in
+  for pc = 0 to c - 1 do
+    if !pr < r then begin
+      (* Reduce column pc below !pr to a single non-zero entry at !pr. *)
+      let continue = ref true in
+      while !continue do
+        (* Find the row with the smallest non-zero |entry| in column pc. *)
+        let best = ref (-1) in
+        for i = !pr to r - 1 do
+          if h.(i).(pc) <> 0
+             && (!best = -1 || abs h.(i).(pc) < abs h.(!best).(pc))
+          then best := i
+        done;
+        if !best = -1 then continue := false (* column is all zero *)
+        else begin
+          if !best <> !pr then swap !best !pr;
+          let others_nonzero = ref false in
+          for i = !pr + 1 to r - 1 do
+            if h.(i).(pc) <> 0 then begin
+              let q = Intmath.Int_math.floor_div h.(i).(pc) h.(!pr).(pc) in
+              sub_row i !pr q;
+              if h.(i).(pc) <> 0 then others_nonzero := true
+            end
+          done;
+          if not !others_nonzero then continue := false
+        end
+      done;
+      if h.(!pr).(pc) <> 0 then begin
+        if h.(!pr).(pc) < 0 then negate !pr;
+        (* Canonicalize entries above the pivot into [0, pivot). *)
+        for i = 0 to !pr - 1 do
+          let q = Intmath.Int_math.floor_div h.(i).(pc) h.(!pr).(pc) in
+          if q <> 0 then sub_row i !pr q
+        done;
+        incr pr
+      end
+    end
+  done;
+  (Imat.of_array h, Imat.of_array u)
+
+let pivots_of_hnf h =
+  let r = Imat.rows h and c = Imat.cols h in
+  let rec find_col i j =
+    if j >= c then None else if Imat.get h i j <> 0 then Some j else find_col i (j + 1)
+  in
+  let rec go i acc =
+    if i >= r then List.rev acc
+    else
+      match find_col i 0 with
+      | None -> List.rev acc (* zero rows only below *)
+      | Some j -> go (i + 1) ((i, j) :: acc)
+  in
+  go 0 []
+
+let solve_left_int g b =
+  if Array.length b <> Imat.cols g then
+    invalid_arg "Hnf.solve_left_int: dimension mismatch";
+  let h, u = row_hnf g in
+  let pivots = pivots_of_hnf h in
+  let residue = Array.copy b in
+  let y = Array.make (Imat.rows g) 0 in
+  let ok = ref true in
+  List.iter
+    (fun (pr, pc) ->
+      if !ok then begin
+        let p = Imat.get h pr pc in
+        if residue.(pc) mod p <> 0 then ok := false
+        else begin
+          let q = residue.(pc) / p in
+          y.(pr) <- q;
+          for j = 0 to Array.length residue - 1 do
+            residue.(j) <- residue.(j) - (q * Imat.get h pr j)
+          done
+        end
+      end)
+    pivots;
+  if !ok && Ivec.is_zero residue then Some (Imat.mul_row y u) else None
+
+let mem_row_lattice g b = Option.is_some (solve_left_int g b)
+
+let left_nullspace g =
+  let h, u = row_hnf g in
+  let zero_rows =
+    List.filter
+      (fun i -> Ivec.is_zero (Imat.row h i))
+      (List.init (Imat.rows h) Fun.id)
+  in
+  match zero_rows with
+  | [] -> None
+  | rows -> Some (Imat.select_rows u rows)
+
+let is_onto g =
+  Imat.rank g = Imat.cols g && Imat.gcd_maximal_minors g = 1
+
+let is_one_to_one g = Imat.rank g = Imat.rows g

@@ -1,0 +1,220 @@
+type t = { r : int; c : int; a : int array array }
+
+let make r c f =
+  if r <= 0 || c <= 0 then invalid_arg "Imat.make: non-positive dimension";
+  { r; c; a = Array.init r (fun i -> Array.init c (fun j -> f i j)) }
+
+let of_rows = function
+  | [] -> invalid_arg "Imat.of_rows: empty"
+  | first :: _ as rows ->
+      let c = List.length first in
+      if c = 0 then invalid_arg "Imat.of_rows: empty row";
+      if not (List.for_all (fun r -> List.length r = c) rows) then
+        invalid_arg "Imat.of_rows: ragged rows";
+      let a = Array.of_list (List.map Array.of_list rows) in
+      { r = Array.length a; c; a }
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Imat.of_array: empty";
+  let c = Array.length a.(0) in
+  if c = 0 then invalid_arg "Imat.of_array: empty row";
+  if not (Array.for_all (fun row -> Array.length row = c) a) then
+    invalid_arg "Imat.of_array: ragged rows";
+  { r = Array.length a; c; a = Array.map Array.copy a }
+
+let to_rows m = Array.to_list (Array.map Array.to_list m.a)
+let rows m = m.r
+let cols m = m.c
+let get m i j = m.a.(i).(j)
+let row m i = Array.copy m.a.(i)
+let col m j = Array.init m.r (fun i -> m.a.(i).(j))
+let row_list m = List.init m.r (row m)
+let identity n = make n n (fun i j -> if i = j then 1 else 0)
+let zero r c = make r c (fun _ _ -> 0)
+
+let diag d =
+  let n = Array.length d in
+  make n n (fun i j -> if i = j then d.(i) else 0)
+
+let is_square m = m.r = m.c
+
+let equal m n =
+  m.r = n.r && m.c = n.c
+  && Array.for_all2 (fun a b -> Array.for_all2 ( = ) a b) m.a n.a
+
+let transpose m = make m.c m.r (fun i j -> m.a.(j).(i))
+let neg m = make m.r m.c (fun i j -> -m.a.(i).(j))
+
+let check_same_dims m n name =
+  if m.r <> n.r || m.c <> n.c then
+    invalid_arg (Printf.sprintf "Imat.%s: dimension mismatch" name)
+
+let add m n =
+  check_same_dims m n "add";
+  make m.r m.c (fun i j -> m.a.(i).(j) + n.a.(i).(j))
+
+let sub m n =
+  check_same_dims m n "sub";
+  make m.r m.c (fun i j -> m.a.(i).(j) - n.a.(i).(j))
+
+let mul m n =
+  if m.c <> n.r then invalid_arg "Imat.mul: dimension mismatch";
+  make m.r n.c (fun i j ->
+      let acc = ref 0 in
+      for k = 0 to m.c - 1 do
+        acc := !acc + (m.a.(i).(k) * n.a.(k).(j))
+      done;
+      !acc)
+
+let scale k m = make m.r m.c (fun i j -> k * m.a.(i).(j))
+
+let mul_row v m =
+  if Array.length v <> m.r then invalid_arg "Imat.mul_row: dimension mismatch";
+  Array.init m.c (fun j ->
+      let acc = ref 0 in
+      for i = 0 to m.r - 1 do
+        acc := !acc + (v.(i) * m.a.(i).(j))
+      done;
+      !acc)
+
+let map f m = make m.r m.c (fun i j -> f m.a.(i).(j))
+
+let replace_row m i v =
+  if Array.length v <> m.c then
+    invalid_arg "Imat.replace_row: dimension mismatch";
+  if i < 0 || i >= m.r then invalid_arg "Imat.replace_row: bad row index";
+  make m.r m.c (fun i' j -> if i' = i then v.(j) else m.a.(i').(j))
+
+let select_cols m idxs =
+  if idxs = [] then invalid_arg "Imat.select_cols: empty selection";
+  let idxs = Array.of_list idxs in
+  make m.r (Array.length idxs) (fun i j -> m.a.(i).(idxs.(j)))
+
+let select_rows m idxs =
+  if idxs = [] then invalid_arg "Imat.select_rows: empty selection";
+  let idxs = Array.of_list idxs in
+  make (Array.length idxs) m.c (fun i j -> m.a.(idxs.(i)).(j))
+
+(* Fraction-free (Bareiss) elimination on a scratch copy.  Returns the
+   number of pivots and, for square inputs, leaves the determinant in the
+   bottom-right pivot.  [sign] tracks row swaps. *)
+let bareiss (a : int array array) r c =
+  let sign = ref 1 in
+  let prev = ref 1 in
+  let pr = ref 0 in
+  let pivots = ref 0 in
+  let pc = ref 0 in
+  while !pr < r && !pc < c do
+    (* Find a pivot in column !pc at or below row !pr. *)
+    let piv = ref (-1) in
+    (try
+       for i = !pr to r - 1 do
+         if a.(i).(!pc) <> 0 then begin
+           piv := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !piv = -1 then incr pc
+    else begin
+      if !piv <> !pr then begin
+        let tmp = a.(!piv) in
+        a.(!piv) <- a.(!pr);
+        a.(!pr) <- tmp;
+        sign := - !sign
+      end;
+      let p = a.(!pr).(!pc) in
+      for i = !pr + 1 to r - 1 do
+        for j = !pc + 1 to c - 1 do
+          a.(i).(j) <-
+            ((a.(i).(j) * p) - (a.(i).(!pc) * a.(!pr).(j))) / !prev
+        done;
+        a.(i).(!pc) <- 0
+      done;
+      prev := p;
+      incr pivots;
+      incr pr;
+      incr pc
+    end
+  done;
+  (!pivots, !sign)
+
+let scratch m = Array.map Array.copy m.a
+
+let det m =
+  if not (is_square m) then invalid_arg "Imat.det: not square";
+  let a = scratch m in
+  let pivots, sign = bareiss a m.r m.c in
+  if pivots < m.r then 0 else sign * a.(m.r - 1).(m.c - 1)
+
+let rank m =
+  let a = scratch m in
+  let pivots, _ = bareiss a m.r m.c in
+  pivots
+
+let is_unimodular m = is_square m && abs (det m) = 1
+
+(* Greedy from the left: add a column whenever it increases the rank. *)
+let max_independent_cols m =
+  let acc = ref [] in
+  let current_rank = ref 0 in
+  for j = 0 to m.c - 1 do
+    let cand = List.rev (j :: List.rev !acc) in
+    let r = rank (select_cols m cand) in
+    if r > !current_rank then begin
+      acc := cand;
+      current_rank := r
+    end
+  done;
+  !acc
+
+let max_independent_rows m =
+  List.map Fun.id (max_independent_cols (transpose m))
+
+let combinations n k =
+  let rec go start k =
+    if k = 0 then [ [] ]
+    else
+      List.concat
+        (List.init (n - start - k + 1) (fun off ->
+             let i = start + off in
+             List.map (fun rest -> i :: rest) (go (i + 1) (k - 1))))
+  in
+  if k > n then [] else go 0 k
+
+let gcd_maximal_minors m =
+  let k = min m.r m.c in
+  let row_sets = combinations m.r k and col_sets = combinations m.c k in
+  List.fold_left
+    (fun acc rs ->
+      List.fold_left
+        (fun acc cs ->
+          Intmath.Int_math.gcd acc (det (select_cols (select_rows m rs) cs)))
+        acc col_sets)
+    0 row_sets
+
+let has_zero_col m =
+  let rec col_zero j i = i >= m.r || (m.a.(i).(j) = 0 && col_zero j (i + 1)) in
+  let rec go j = j < m.c && (col_zero j 0 || go (j + 1)) in
+  go 0
+
+let drop_zero_cols m =
+  let keep =
+    List.filter
+      (fun j -> Array.exists (fun row -> row.(j) <> 0) m.a)
+      (List.init m.c Fun.id)
+  in
+  if keep = [] then invalid_arg "Imat.drop_zero_cols: all columns are zero";
+  (select_cols m keep, keep)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i row ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "[%s]"
+        (String.concat " " (List.map string_of_int (Array.to_list row))))
+    m.a;
+  Format.fprintf ppf "@]"
+
+let to_string m = Format.asprintf "%a" pp m

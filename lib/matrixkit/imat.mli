@@ -1,0 +1,72 @@
+(** Dense integer matrices.
+
+    Values are immutable from the outside: every operation returns a fresh
+    matrix.  Conventions follow the paper: vectors are rows, a reference
+    matrix [G] is [l x d] (loop nesting by array dimension), and tiles act
+    on the left ([LG]). *)
+
+type t
+
+val make : int -> int -> (int -> int -> int) -> t
+(** [make rows cols f] builds the matrix with entry [f i j]. *)
+
+val of_rows : int list list -> t
+(** Build from row lists; all rows must have equal positive length. *)
+
+val of_array : int array array -> t
+(** Copies the array. *)
+
+val to_rows : t -> int list list
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> int
+val row : t -> int -> Ivec.t
+val col : t -> int -> Ivec.t
+val row_list : t -> Ivec.t list
+val identity : int -> t
+val zero : int -> int -> t
+val diag : int array -> t
+val is_square : t -> bool
+val equal : t -> t -> bool
+val transpose : t -> t
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : int -> t -> t
+val mul_row : Ivec.t -> t -> Ivec.t
+(** [mul_row v m] is the row vector [v * m]. *)
+
+val map : (int -> int) -> t -> t
+
+val replace_row : t -> int -> Ivec.t -> t
+(** [replace_row m i v] is [m] with row [i] replaced by [v] — the paper's
+    [LG_{i->a}] construction in Theorem 2. *)
+
+val select_cols : t -> int list -> t
+val select_rows : t -> int list -> t
+
+val det : t -> int
+(** Determinant of a square matrix (fraction-free Bareiss; exact). *)
+
+val rank : t -> int
+val is_unimodular : t -> bool
+(** Square with determinant [+-1]. *)
+
+val max_independent_cols : t -> int list
+(** Indices of a maximal set of linearly independent columns, greedily from
+    the left (Section 3.4.1 of the paper). *)
+
+val max_independent_rows : t -> int list
+
+val gcd_maximal_minors : t -> int
+(** Gcd of all subdeterminants of order [min rows cols]; 0 if the matrix
+    has deficient rank.  Lemma 2 tests this against 1. *)
+
+val has_zero_col : t -> bool
+val drop_zero_cols : t -> t * int list
+(** Remove all-zero columns (Example 1's dimension reduction); returns the
+    reduced matrix and the indices of the kept columns. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

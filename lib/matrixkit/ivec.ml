@@ -1,0 +1,36 @@
+type t = int array
+
+let make n v = Array.make n v
+let zero n = make n 0
+let of_list = Array.of_list
+let to_list = Array.to_list
+let dim = Array.length
+
+let check_dims a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Ivec.%s: dimension mismatch" name)
+
+let map2 f a b =
+  check_dims a b "map2";
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( + ) a b
+let sub a b = map2 ( - ) a b
+let neg a = Array.map (fun x -> -x) a
+let scale k a = Array.map (fun x -> k * x) a
+
+let dot a b =
+  check_dims a b "dot";
+  let acc = ref 0 in
+  Array.iteri (fun i x -> acc := !acc + (x * b.(i))) a;
+  !acc
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 ( = ) a b
+let is_zero a = Array.for_all (fun x -> x = 0) a
+let gcd a = Array.fold_left Intmath.Int_math.gcd 0 a
+
+let pp ppf v =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", " (List.map string_of_int (Array.to_list v)))
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,27 @@
+(** Integer row vectors (thin helpers over [int array]).
+
+    The paper works with row vectors throughout ([i], [g(i)], [a] are rows);
+    these helpers keep that convention readable. *)
+
+type t = int array
+
+val make : int -> int -> t
+val zero : int -> t
+val of_list : int list -> t
+val to_list : t -> int list
+val dim : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val dot : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val map2 : (int -> int -> int) -> t -> t -> t
+val gcd : t -> int
+(** Gcd of all components (0 for the zero vector). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(a, b, c)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,62 @@
+type bounded = { basis : Imat.t; bounds : int array }
+
+let make basis bounds =
+  if Imat.rank basis <> Imat.rows basis then
+    invalid_arg "Lattice.make: basis rows are dependent";
+  if Array.length bounds <> Imat.rows basis then
+    invalid_arg "Lattice.make: bounds/basis mismatch";
+  if Array.exists (fun l -> l < 0) bounds then
+    invalid_arg "Lattice.make: negative bound";
+  { basis; bounds }
+
+let count { bounds; _ } =
+  Array.fold_left (fun acc l -> Intmath.Int_math.mul_exact acc (l + 1)) 1 bounds
+
+let points { basis; bounds } =
+  let n = Imat.rows basis in
+  let rec go i coeff =
+    if i = n then [ Imat.mul_row (Array.of_list (List.rev coeff)) basis ]
+    else
+      List.concat_map
+        (fun u -> go (i + 1) (u :: coeff))
+        (List.init (bounds.(i) + 1) Fun.id)
+  in
+  go 0 []
+
+let coords_of_translation { basis; _ } t = Hnf.solve_left_int basis t
+
+let within_bounds bounds u =
+  Array.for_all2 (fun l ui -> abs ui <= l) bounds u
+
+let intersects_translate l t =
+  match coords_of_translation l t with
+  | None -> false
+  | Some u -> within_bounds l.bounds u
+
+let union_size_translate l t =
+  let total = count l in
+  match coords_of_translation l t with
+  | Some u when within_bounds l.bounds u ->
+      let overlap = ref 1 in
+      Array.iteri
+        (fun i li ->
+          overlap := Intmath.Int_math.mul_exact !overlap (li + 1 - abs u.(i)))
+        l.bounds;
+      (2 * total) - !overlap
+  | Some _ | None -> 2 * total
+
+let union_size_approx l t =
+  let total = count l in
+  match coords_of_translation l t with
+  | Some u when within_bounds l.bounds u ->
+      let n = Array.length u in
+      let extra = ref 0 in
+      for i = 0 to n - 1 do
+        let p = ref (abs u.(i)) in
+        for j = 0 to n - 1 do
+          if j <> i then p := !p * (l.bounds.(j) + 1)
+        done;
+        extra := !extra + !p
+      done;
+      total + !extra
+  | Some _ | None -> 2 * total

@@ -1,0 +1,41 @@
+(** Bounded lattices (Definition 9) and the union-of-translates counting
+    results (Theorem 3, Lemma 3) that drive the rectangular-tile cumulative
+    footprint formula (Theorem 4).
+
+    A bounded lattice [L(a_1..a_n, l_1..l_n)] is the set of points
+    [sum u_i * a_i] with integer [0 <= u_i <= l_i], where the [a_i] are
+    linearly independent rows of [basis]. *)
+
+type bounded = { basis : Imat.t; bounds : int array }
+(** [basis] is [n x d] with independent rows; [bounds.(i)] is the
+    (inclusive) coefficient bound [lambda_i >= 0]. *)
+
+val make : Imat.t -> int array -> bounded
+(** Validates independence of the basis rows and non-negative bounds. *)
+
+val count : bounded -> int
+(** Number of lattice points: [prod (lambda_i + 1)] (the basis rows are
+    independent, so representations are unique). *)
+
+val points : bounded -> Ivec.t list
+(** Enumerate all points.  Exponential in dimension; test-sized inputs
+    only. *)
+
+val coords_of_translation : bounded -> Ivec.t -> Ivec.t option
+(** [coords_of_translation l t] writes [t] as an integer combination
+    [sum u_i a_i] of the basis rows, if possible (bounds are ignored). *)
+
+val intersects_translate : bounded -> Ivec.t -> bool
+(** Theorem 3: the lattice and its translate by [t] intersect iff
+    [t = sum u_i a_i] with integer [|u_i| <= lambda_i]. *)
+
+val union_size_translate : bounded -> Ivec.t -> int
+(** Exact size of [L union (L + t)]: [2*prod(l_i+1) - prod(l_i+1-|u_i|)]
+    when the translate coordinates [u] exist and are within bounds
+    (Lemma 3), [2*prod(l_i+1)] otherwise (disjoint). *)
+
+val union_size_approx : bounded -> Ivec.t -> int
+(** Lemma 3's linearized approximation
+    [prod(l_j+1) + sum_i |u_i| * prod_{j<>i}(l_j+1)] (the cross terms and
+    the final [prod u_i] are dropped); falls back to [2*prod(l_i+1)] when
+    the lattices do not intersect. *)

@@ -1,0 +1,71 @@
+open Intmath
+
+type t = { r : int; c : int; a : Mpoly.t array array }
+
+let make r c f =
+  if r <= 0 || c <= 0 then invalid_arg "Pmat.make: non-positive dimension";
+  { r; c; a = Array.init r (fun i -> Array.init c (fun j -> f i j)) }
+
+let of_imat m =
+  make (Imat.rows m) (Imat.cols m) (fun i j ->
+      Mpoly.const_int (Imat.get m i j))
+
+let generic ?var l =
+  let var = match var with Some f -> f | None -> fun i j -> (i * l) + j in
+  make l l (fun i j -> Mpoly.var (var i j))
+
+let rows m = m.r
+let cols m = m.c
+let get m i j = m.a.(i).(j)
+
+let mul m n =
+  if m.c <> n.r then invalid_arg "Pmat.mul: dimension mismatch";
+  make m.r n.c (fun i j ->
+      let acc = ref Mpoly.zero in
+      for k = 0 to m.c - 1 do
+        acc := Mpoly.add !acc (Mpoly.mul m.a.(i).(k) n.a.(k).(j))
+      done;
+      !acc)
+
+let replace_row m i v =
+  if Array.length v <> m.c then invalid_arg "Pmat.replace_row: bad row";
+  make m.r m.c (fun i' j -> if i' = i then v.(j) else m.a.(i').(j))
+
+let rec det_of (a : Mpoly.t array array) n =
+  if n = 1 then a.(0).(0)
+  else begin
+    let acc = ref Mpoly.zero in
+    for j = 0 to n - 1 do
+      let minor =
+        Array.init (n - 1) (fun i ->
+            Array.init (n - 1) (fun j' ->
+                a.(i + 1).(if j' < j then j' else j' + 1)))
+      in
+      let term = Mpoly.mul a.(0).(j) (det_of minor (n - 1)) in
+      acc :=
+        if j land 1 = 0 then Mpoly.add !acc term else Mpoly.sub !acc term
+    done;
+    !acc
+  end
+
+let det m =
+  if m.r <> m.c then invalid_arg "Pmat.det: not square";
+  det_of m.a m.r
+
+let eval m env =
+  Qmat.make m.r m.c (fun i j -> Mpoly.eval m.a.(i).(j) env)
+
+let pp ?names ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i row ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "[%s]"
+        (String.concat " | "
+           (List.map (Mpoly.to_string ?names) (Array.to_list row))))
+    m.a;
+  Format.fprintf ppf "@]"
+
+let entry_names l k =
+  let i = (k / l) + 1 and j = (k mod l) + 1 in
+  Printf.sprintf "L%d%d" i j

@@ -1,0 +1,35 @@
+(** Matrices over multivariate polynomials.
+
+    Used to carry out the paper's general-tile algebra symbolically: with
+    [L] a matrix of indeterminates [L_ij], the products [LG] and the
+    determinants of Theorem 2 become polynomials in the tile entries -
+    the very expressions Examples 6 and 9 print.  Dimensions here are
+    tiny (the loop nesting), so cofactor expansion is fine. *)
+
+open Intmath
+
+type t
+
+val make : int -> int -> (int -> int -> Mpoly.t) -> t
+val of_imat : Imat.t -> t
+
+val generic : ?var:(int -> int -> int) -> int -> t
+(** [generic l] is the [l x l] matrix of distinct indeterminates; entry
+    [(i,j)] uses polynomial variable [var i j] (default [i*l + j]). *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Mpoly.t
+val mul : t -> t -> t
+val replace_row : t -> int -> Mpoly.t array -> t
+val det : t -> Mpoly.t
+(** Cofactor expansion; exponential in size, intended for [n <= 4]. *)
+
+val eval : t -> Rat.t array -> Qmat.t
+(** Evaluate every entry at an assignment of the polynomial variables. *)
+
+val pp : ?names:(int -> string) -> Format.formatter -> t -> unit
+
+val entry_names : int -> int -> string
+(** ["L11"], ["L12"], ... - the paper's naming for the generic tile
+    matrix (1-based). *)

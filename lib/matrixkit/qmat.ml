@@ -1,0 +1,198 @@
+open Intmath
+
+type t = { r : int; c : int; a : Rat.t array array }
+
+let make r c f =
+  if r <= 0 || c <= 0 then invalid_arg "Qmat.make: non-positive dimension";
+  { r; c; a = Array.init r (fun i -> Array.init c (fun j -> f i j)) }
+
+let of_imat m = make (Imat.rows m) (Imat.cols m) (fun i j -> Rat.of_int (Imat.get m i j))
+
+let of_rows = function
+  | [] -> invalid_arg "Qmat.of_rows: empty"
+  | first :: _ as rows ->
+      let c = List.length first in
+      if c = 0 then invalid_arg "Qmat.of_rows: empty row";
+      if not (List.for_all (fun r -> List.length r = c) rows) then
+        invalid_arg "Qmat.of_rows: ragged rows";
+      let a = Array.of_list (List.map Array.of_list rows) in
+      { r = Array.length a; c; a }
+
+let rows m = m.r
+let cols m = m.c
+let get m i j = m.a.(i).(j)
+let row m i = Array.copy m.a.(i)
+
+let identity n =
+  make n n (fun i j -> if i = j then Rat.one else Rat.zero)
+
+let transpose m = make m.c m.r (fun i j -> m.a.(j).(i))
+
+let mul m n =
+  if m.c <> n.r then invalid_arg "Qmat.mul: dimension mismatch";
+  make m.r n.c (fun i j ->
+      let acc = ref Rat.zero in
+      for k = 0 to m.c - 1 do
+        acc := Rat.add !acc (Rat.mul m.a.(i).(k) n.a.(k).(j))
+      done;
+      !acc)
+
+let scale k m = make m.r m.c (fun i j -> Rat.mul k m.a.(i).(j))
+
+let mul_row v m =
+  if Array.length v <> m.r then invalid_arg "Qmat.mul_row: dimension mismatch";
+  Array.init m.c (fun j ->
+      let acc = ref Rat.zero in
+      for i = 0 to m.r - 1 do
+        acc := Rat.add !acc (Rat.mul v.(i) m.a.(i).(j))
+      done;
+      !acc)
+
+let equal m n =
+  m.r = n.r && m.c = n.c
+  && Array.for_all2 (fun a b -> Array.for_all2 Rat.equal a b) m.a n.a
+
+let scratch m = Array.map Array.copy m.a
+
+(* Gaussian elimination with partial (first-non-zero) pivoting over Q.
+   Returns pivot column list; mutates [a] to row echelon form and applies
+   the same operations to the rows of [aug] when provided. *)
+let row_echelon (a : Rat.t array array) ?(aug : Rat.t array array option) r c =
+  let swap arr i j =
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  in
+  let pivots = ref [] in
+  let pr = ref 0 in
+  for pc = 0 to c - 1 do
+    if !pr < r then begin
+      let piv = ref (-1) in
+      (try
+         for i = !pr to r - 1 do
+           if Rat.sign a.(i).(pc) <> 0 then begin
+             piv := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !piv >= 0 then begin
+        if !piv <> !pr then begin
+          swap a !piv !pr;
+          (match aug with Some g -> swap g !piv !pr | None -> ())
+        end;
+        let inv_p = Rat.inv a.(!pr).(pc) in
+        let scale_row arr i k =
+          arr.(i) <- Array.map (Rat.mul k) arr.(i)
+        in
+        scale_row a !pr inv_p;
+        (match aug with Some g -> scale_row g !pr inv_p | None -> ());
+        for i = 0 to r - 1 do
+          if i <> !pr && Rat.sign a.(i).(pc) <> 0 then begin
+            let f = a.(i).(pc) in
+            let elim arr =
+              arr.(i) <-
+                Array.mapi
+                  (fun j x -> Rat.sub x (Rat.mul f arr.(!pr).(j)))
+                  arr.(i)
+            in
+            elim a;
+            match aug with Some g -> elim g | None -> ()
+          end
+        done;
+        pivots := (!pr, pc) :: !pivots;
+        incr pr
+      end
+    end
+  done;
+  List.rev !pivots
+
+let rank m =
+  let a = scratch m in
+  List.length (row_echelon a m.r m.c)
+
+let det m =
+  if m.r <> m.c then invalid_arg "Qmat.det: not square";
+  (* Triangularize tracking the product of pivots and swap signs. *)
+  let a = scratch m in
+  let n = m.r in
+  let sign = ref 1 and d = ref Rat.one in
+  (try
+     for pc = 0 to n - 1 do
+       let piv = ref (-1) in
+       (try
+          for i = pc to n - 1 do
+            if Rat.sign a.(i).(pc) <> 0 then begin
+              piv := i;
+              raise Exit
+            end
+          done
+        with Exit -> ());
+       if !piv = -1 then begin
+         d := Rat.zero;
+         raise Exit
+       end;
+       if !piv <> pc then begin
+         let t = a.(!piv) in
+         a.(!piv) <- a.(pc);
+         a.(pc) <- t;
+         sign := - !sign
+       end;
+       d := Rat.mul !d a.(pc).(pc);
+       for i = pc + 1 to n - 1 do
+         if Rat.sign a.(i).(pc) <> 0 then begin
+           let f = Rat.div a.(i).(pc) a.(pc).(pc) in
+           a.(i) <-
+             Array.mapi (fun j x -> Rat.sub x (Rat.mul f a.(pc).(j))) a.(i)
+         end
+       done
+     done
+   with Exit -> ());
+  if Rat.equal !d Rat.zero then Rat.zero
+  else if !sign < 0 then Rat.neg !d
+  else !d
+
+let inv m =
+  if m.r <> m.c then invalid_arg "Qmat.inv: not square";
+  let n = m.r in
+  let a = scratch m in
+  let aug = (identity n).a |> Array.map Array.copy in
+  let pivots = row_echelon a ~aug n n in
+  if List.length pivots < n then None
+  else Some { r = n; c = n; a = aug }
+
+let solve_left m b =
+  (* x * m = b  <=>  m^t * x^t = b^t: solve the transposed column system by
+     reducing the augmented matrix [m^t | b^t]. *)
+  if Array.length b <> m.c then
+    invalid_arg "Qmat.solve_left: dimension mismatch";
+  let mt = transpose m in
+  let r = mt.r and c = mt.c in
+  let a = scratch mt in
+  let aug = Array.init r (fun i -> [| b.(i) |]) in
+  let pivots = row_echelon a ~aug r c in
+  (* Consistency: any zero row of [a] must have zero in [aug]. *)
+  let x = Array.make c Rat.zero in
+  List.iter (fun (pr, pc) -> x.(pc) <- aug.(pr).(0)) pivots;
+  let consistent = ref true in
+  for i = 0 to r - 1 do
+    let row_zero = Array.for_all (fun v -> Rat.sign v = 0) a.(i) in
+    if row_zero && Rat.sign aug.(i).(0) <> 0 then consistent := false
+  done;
+  if !consistent then Some x else None
+
+let is_integer m =
+  Array.for_all (fun row -> Array.for_all Rat.is_integer row) m.a
+
+let to_imat_exn m = Imat.make m.r m.c (fun i j -> Rat.to_int_exn m.a.(i).(j))
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i row ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "[%s]"
+        (String.concat " "
+           (List.map Rat.to_string (Array.to_list row))))
+    m.a;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** Dense matrices over the exact rationals {!Intmath.Rat}.
+
+    Used wherever the framework needs exact linear solving: inverting tile
+    matrices ([L = Lambda (H^-1)^t]), expressing the spread vector in the
+    basis of [G]'s rows (Theorem 4's [u] coefficients), and rank
+    computations behind the classification theorems. *)
+
+open Intmath
+
+type t
+
+val make : int -> int -> (int -> int -> Rat.t) -> t
+val of_imat : Imat.t -> t
+val of_rows : Rat.t list list -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Rat.t
+val row : t -> int -> Rat.t array
+val identity : int -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val scale : Rat.t -> t -> t
+val mul_row : Rat.t array -> t -> Rat.t array
+val equal : t -> t -> bool
+val det : t -> Rat.t
+val rank : t -> int
+
+val inv : t -> t option
+(** Inverse of a square matrix, [None] if singular. *)
+
+val solve_left : t -> Rat.t array -> Rat.t array option
+(** [solve_left a b] finds a row vector [x] with [x * a = b], if the system
+    is consistent (any solution is returned when underdetermined). *)
+
+val is_integer : t -> bool
+val to_imat_exn : t -> Imat.t
+(** Raises [Invalid_argument] if any entry is non-integral. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,131 @@
+(* Classical Smith normal form by alternating row and column gcd
+   reduction.  Matrices in this code base are tiny (loop nesting <= 4), so
+   the simple algorithm with full re-scans is plenty fast. *)
+
+let smith a0 =
+  let r = Imat.rows a0 and c = Imat.cols a0 in
+  let a = Array.init r (fun i -> Imat.row a0 i) in
+  let u = Array.init r (fun i -> Array.init r (fun j -> if i = j then 1 else 0)) in
+  let v = Array.init c (fun i -> Array.init c (fun j -> if i = j then 1 else 0)) in
+  (* v is maintained transposed-free: we apply column ops to [a] and the
+     same column ops to [v] (v accumulates them as a right factor). *)
+  let swap_rows i j =
+    let t = a.(i) in a.(i) <- a.(j); a.(j) <- t;
+    let t = u.(i) in u.(i) <- u.(j); u.(j) <- t
+  in
+  let swap_cols i j =
+    Array.iter (fun row -> let t = row.(i) in row.(i) <- row.(j); row.(j) <- t) a;
+    Array.iter (fun row -> let t = row.(i) in row.(i) <- row.(j); row.(j) <- t) v
+  in
+  let sub_row i j q =
+    a.(i) <- Array.mapi (fun k x -> x - (q * a.(j).(k))) a.(i);
+    u.(i) <- Array.mapi (fun k x -> x - (q * u.(j).(k))) u.(i)
+  in
+  let sub_col i j q =
+    Array.iter (fun row -> row.(i) <- row.(i) - (q * row.(j))) a;
+    Array.iter (fun row -> row.(i) <- row.(i) - (q * row.(j))) v
+  in
+  let negate_row i =
+    a.(i) <- Array.map (fun x -> -x) a.(i);
+    u.(i) <- Array.map (fun x -> -x) u.(i)
+  in
+  let n = min r c in
+  for t = 0 to n - 1 do
+    (* Find a non-zero pivot in the trailing submatrix. *)
+    let piv = ref None in
+    for i = t to r - 1 do
+      for j = t to c - 1 do
+        if a.(i).(j) <> 0 then
+          match !piv with
+          | Some (pi, pj) when abs a.(pi).(pj) <= abs a.(i).(j) -> ()
+          | _ -> piv := Some (i, j)
+      done
+    done;
+    match !piv with
+    | None -> () (* trailing submatrix is zero; done *)
+    | Some (pi, pj) ->
+        if pi <> t then swap_rows pi t;
+        if pj <> t then swap_cols pj t;
+        let dirty = ref true in
+        while !dirty do
+          dirty := false;
+          (* Clear column t below/above the pivot. *)
+          for i = 0 to r - 1 do
+            if i <> t && a.(i).(t) <> 0 then begin
+              let q = Intmath.Int_math.floor_div a.(i).(t) a.(t).(t) in
+              sub_row i t q;
+              if a.(i).(t) <> 0 then begin
+                (* Remainder is smaller than the pivot: promote it. *)
+                swap_rows i t;
+                dirty := true
+              end
+            end
+          done;
+          (* Clear row t. *)
+          for j = 0 to c - 1 do
+            if j <> t && a.(t).(j) <> 0 then begin
+              let q = Intmath.Int_math.floor_div a.(t).(j) a.(t).(t) in
+              sub_col j t q;
+              if a.(t).(j) <> 0 then begin
+                swap_cols j t;
+                dirty := true
+              end
+            end
+          done
+        done;
+        if a.(t).(t) < 0 then negate_row t
+  done;
+  (* Enforce the divisibility chain d_i | d_{i+1}. *)
+  let again = ref true in
+  while !again do
+    again := false;
+    for t = 0 to n - 2 do
+      let x = a.(t).(t) and y = a.(t + 1).(t + 1) in
+      if x <> 0 && y mod x <> 0 then begin
+        (* Standard trick: add column t+1 to column t, then re-reduce the
+           2x2 block.  Doing a full pass keeps the code simple. *)
+        sub_col t (t + 1) (-1);
+        let dirty = ref true in
+        while !dirty do
+          dirty := false;
+          for i = 0 to r - 1 do
+            if i <> t && a.(i).(t) <> 0 then begin
+              let q = Intmath.Int_math.floor_div a.(i).(t) a.(t).(t) in
+              sub_row i t q;
+              if a.(i).(t) <> 0 then begin
+                swap_rows i t;
+                dirty := true
+              end
+            end
+          done;
+          for j = 0 to c - 1 do
+            if j <> t && a.(t).(j) <> 0 then begin
+              let q = Intmath.Int_math.floor_div a.(t).(j) a.(t).(t) in
+              sub_col j t q;
+              if a.(t).(j) <> 0 then begin
+                swap_cols j t;
+                dirty := true
+              end
+            end
+          done
+        done;
+        if a.(t).(t) < 0 then negate_row t;
+        again := true
+      end
+    done
+  done;
+  for t = 0 to n - 1 do
+    if a.(t).(t) < 0 then negate_row t
+  done;
+  (Imat.of_array a, Imat.of_array u, Imat.of_array v)
+
+let invariant_factors g =
+  let s, _, _ = smith g in
+  let n = min (Imat.rows s) (Imat.cols s) in
+  List.filter (fun d -> d <> 0) (List.init n (fun i -> Imat.get s i i))
+
+let lattice_index g =
+  if not (Imat.is_square g) then invalid_arg "Snf.lattice_index: not square";
+  let d = Imat.det g in
+  if d = 0 then invalid_arg "Snf.lattice_index: singular";
+  abs d

@@ -1,0 +1,17 @@
+(** Smith normal form.
+
+    [smith a] returns [(s, u, v)] with [s = u * a * v], [u] and [v]
+    unimodular, and [s] diagonal with non-negative entries satisfying
+    [s.(i) | s.(i+1)].  The invariant factors determine when the integer
+    map [i -> i*G] is onto (all factors 1, cf. Lemma 2) and give the index
+    of the row lattice of [G] in [Z^d] when [G] is square
+    ([|det G| = product of factors]). *)
+
+val smith : Imat.t -> Imat.t * Imat.t * Imat.t
+
+val invariant_factors : Imat.t -> int list
+(** The non-zero diagonal entries of the Smith form, in order. *)
+
+val lattice_index : Imat.t -> int
+(** For a square nonsingular [g], the index [Z^n : rowlattice(g)], i.e.
+    [|det g|].  Computed from the invariant factors. *)

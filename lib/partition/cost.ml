@@ -1,0 +1,178 @@
+open Intmath
+open Matrixkit
+open Loopir
+open Footprint
+
+type class_cost = {
+  cls : Uniform.cls;
+  single : Mpoly.t;
+  cumulative : Mpoly.t;
+  traffic : Mpoly.t;
+  sync_weight : int;
+  writes : bool;
+  null_dims : int list;
+}
+
+type t = {
+  nest : Nest.t;
+  classes : class_cost list;
+  total_cumulative : Mpoly.t;
+  total_traffic : Mpoly.t;
+  objective : Mpoly.t;
+}
+
+let sync_cost_factor = 2
+
+let class_cost ~nesting (cls : Uniform.cls) =
+  let g = cls.Uniform.g in
+  let single = Size.rect_single_poly ~nesting ~g in
+  (* Lattice-coordinate spread: sharper than Definition 8's data-space
+     max-min for skewed G with mixed-sign offsets (see Size.lattice_spread). *)
+  let cumulative =
+    Size.rect_cumulative_poly_class ~nesting ~g ~offsets:cls.Uniform.offsets
+  in
+  let traffic = Mpoly.sub cumulative single in
+  let sync_weight =
+    if
+      List.exists
+        (fun (r : Reference.t) -> r.Reference.kind = Reference.Accumulate)
+        cls.Uniform.refs
+    then sync_cost_factor
+    else 1
+  in
+  (* Loop dimensions the reference ignores (all-zero rows of G): tiling
+     them multiplies the number of tiles touching each element.  For a
+     written class (e.g. a reduction like matmul's l$C[i,j] over k) every
+     extra writer costs an invalidation + refetch, which the footprint
+     alone does not see. *)
+  let null_dims =
+    List.filter
+      (fun k -> Matrixkit.Ivec.is_zero (Matrixkit.Imat.row g k))
+      (List.init nesting Fun.id)
+  in
+  {
+    cls;
+    single;
+    cumulative;
+    traffic;
+    sync_weight;
+    writes = Uniform.has_write cls;
+    null_dims;
+  }
+
+let of_nest nest =
+  let nesting = Nest.nesting nest in
+  let classes = List.map (class_cost ~nesting) (Uniform.classify_nest nest) in
+  let total_cumulative = Mpoly.sum (List.map (fun c -> c.cumulative) classes) in
+  let total_traffic = Mpoly.sum (List.map (fun c -> c.traffic) classes) in
+  let objective =
+    Mpoly.sum
+      (List.map (fun c -> Mpoly.scale_int c.sync_weight c.cumulative) classes)
+  in
+  { nest; classes; total_cumulative; total_traffic; objective }
+
+let class_misses (c : class_cost) tile =
+  let g = c.cls.Uniform.g in
+  let spread = Uniform.spread c.cls in
+  match tile with
+  | Tile.Rect sizes -> Rat.floor (Mpoly.eval_int c.cumulative sizes)
+  | Tile.Pped l -> (
+      try Rat.floor (Size.pped_cumulative ~l:(Qmat.of_imat l) ~g ~spread)
+      with Size.Unsupported _ ->
+        (* Fall back to the rectangular estimate on the bounding sizes. *)
+        let sizes =
+          Array.map (fun r -> max 1 r) (Array.map abs (Imat.row l 0))
+        in
+        Size.rect_cumulative ~exact:false
+          ~lambda:(Array.map (fun s -> s - 1) sizes)
+          ~g ~spread)
+
+let misses_per_tile t tile =
+  List.fold_left (fun acc c -> acc + class_misses c tile) 0 t.classes
+
+let traffic_per_tile t tile =
+  let singles =
+    List.fold_left
+      (fun acc c ->
+        let g = c.cls.Uniform.g in
+        acc
+        +
+        match tile with
+        | Tile.Rect _ -> Size.rect_single ~lambda:(Tile.lambda tile) ~g
+        | Tile.Pped l -> (
+            try Rat.floor (Size.pped_single ~l:(Qmat.of_imat l) ~g)
+            with Size.Unsupported _ -> Rat.floor (Tile.volume tile)))
+      0 t.classes
+  in
+  misses_per_tile t tile - singles
+
+(* Number of tiles writing each element of the class: the product of the
+   tile counts along the loop dimensions the reference ignores. *)
+let writer_multiplier t (c : class_cost) x =
+  if not c.writes then 1.0
+  else
+    let extents = Nest.extents t.nest in
+    List.fold_left
+      (fun acc k -> acc *. Float.max 1.0 (float_of_int extents.(k) /. x.(k)))
+      1.0 c.null_dims
+
+let eval_objective t x =
+  List.fold_left
+    (fun acc c ->
+      acc
+      +. float_of_int c.sync_weight
+         *. Mpoly.eval_float c.cumulative x
+         *. writer_multiplier t c x)
+    0.0 t.classes
+
+(* The loop dimension whose index strides the contiguous (last) data
+   dimension of the class's array, when one exists: the row of G with a
+   non-zero entry in the last column.  Prefer the row with the smallest
+   |coefficient| (closest to unit stride). *)
+let contiguous_loop_dim (cls : Uniform.cls) =
+  let g = cls.Uniform.g in
+  let last = Matrixkit.Imat.cols g - 1 in
+  let best = ref None in
+  for k = 0 to Matrixkit.Imat.rows g - 1 do
+    let c = abs (Matrixkit.Imat.get g k last) in
+    if c <> 0 then
+      match !best with
+      | Some (_, bc) when bc <= c -> ()
+      | _ -> best := Some (k, c)
+  done;
+  Option.map fst !best
+
+let line_adjusted_objective t ~line_size =
+  if line_size < 1 then invalid_arg "Cost.line_adjusted_objective";
+  if line_size = 1 then t.objective
+  else
+    Mpoly.sum
+      (List.map
+         (fun c ->
+           let poly = Mpoly.scale_int c.sync_weight c.cumulative in
+           match contiguous_loop_dim c.cls with
+           | None -> poly
+           | Some k ->
+               (* x_k elements cover ~ x_k/line + 1 lines. *)
+               let subst =
+                 Mpoly.add
+                   (Mpoly.scale (Rat.make 1 line_size) (Mpoly.var k))
+                   Mpoly.one
+               in
+               Mpoly.subst k subst poly)
+         t.classes)
+
+let pp ppf t =
+  let vars = Nest.vars t.nest in
+  let names k = Printf.sprintf "x%s" vars.(k) in
+  Format.fprintf ppf "@[<v>cost model for %s:@," t.nest.Nest.name;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %a@,    cumulative: %a@,    traffic:    %a@,"
+        (Uniform.pp_cls ~vars) c.cls
+        (Mpoly.pp ~names) c.cumulative
+        (Mpoly.pp ~names) c.traffic)
+    t.classes;
+  Format.fprintf ppf "  total cumulative: %a@,  total traffic: %a@]"
+    (Mpoly.pp ~names) t.total_cumulative
+    (Mpoly.pp ~names) t.total_traffic

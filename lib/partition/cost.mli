@@ -1,0 +1,64 @@
+(** The per-tile memory-cost model of a loop nest.
+
+    For every uniformly intersecting class this gathers the symbolic
+    cumulative-footprint polynomial (in [x_k] = tile iterations per
+    dimension) and its traffic part; the total over classes is the
+    objective the optimizer minimizes subject to the load-balance
+    constraint [prod x_k = iterations / P] (Section 3.6). *)
+
+open Intmath
+open Loopir
+open Footprint
+
+type class_cost = {
+  cls : Uniform.cls;
+  single : Mpoly.t;  (** footprint of one member reference *)
+  cumulative : Mpoly.t;  (** Theorem 2 / Theorem 4 class footprint *)
+  traffic : Mpoly.t;  (** [cumulative - single] *)
+  sync_weight : int;
+      (** 1 for ordinary classes, [sync_cost_factor] for classes containing
+          atomic accumulates (Appendix A: synchronizing references are
+          treated as writes with a slightly higher cost). *)
+  writes : bool;
+  null_dims : int list;
+      (** loop dimensions with an all-zero [G] row: tiling them multiplies
+          the writers per element (reduction dimensions) *)
+}
+
+type t = {
+  nest : Nest.t;
+  classes : class_cost list;
+  total_cumulative : Mpoly.t;  (** unweighted: predicts cache misses *)
+  total_traffic : Mpoly.t;
+  objective : Mpoly.t;  (** sync-weighted cumulative; minimized *)
+}
+
+val sync_cost_factor : int
+(** Weight applied to classes with accumulate references (default 2). *)
+
+val of_nest : Nest.t -> t
+
+val misses_per_tile : t -> Tile.t -> int
+(** Predicted distinct-element misses for one tile: evaluates each class's
+    cumulative footprint with the numeric engines (rectangular tiles use
+    Theorem 4; general tiles Theorem 2). *)
+
+val traffic_per_tile : t -> Tile.t -> int
+
+val eval_objective : t -> float array -> float
+(** Objective at real-valued tile sizes [x].  Beyond the polynomial, a
+    written class whose [G] ignores some loop dimensions (a reduction)
+    is charged once per writing tile: its term is multiplied by the tile
+    count along those dimensions, so splitting a reduction dimension is
+    visible as coherence cost (this is what keeps matmul's [k] unsplit). *)
+
+val line_adjusted_objective : t -> line_size:int -> Mpoly.t
+(** The objective measured in cache {e lines} rather than elements, for a
+    row-major layout with the last array dimension contiguous: in each
+    class, the tile variable that drives the contiguous dimension is
+    substituted by [x/line + 1] (the Abraham-Hudak extension that
+    Section 2.2 points to).  With [line_size = 1] this is the plain
+    objective.  Larger lines bias the optimum toward tiles elongated
+    along the memory-contiguous direction. *)
+
+val pp : Format.formatter -> t -> unit

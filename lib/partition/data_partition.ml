@@ -1,0 +1,140 @@
+open Intmath
+open Matrixkit
+open Loopir
+open Footprint
+
+type placement = {
+  nprocs : int;
+  home : string -> Ivec.t -> int;
+  description : string;
+}
+
+let hash_home nprocs name (d : Ivec.t) =
+  let h = Hashtbl.hash (name, Array.to_list d) in
+  h mod nprocs
+
+let round_robin ~nprocs =
+  {
+    nprocs;
+    home = hash_home nprocs;
+    description = "round-robin (hashed) element placement";
+  }
+
+let block_row ~nprocs ~rows =
+  {
+    nprocs;
+    home =
+      (fun _ d ->
+        if Array.length d = 0 then 0
+        else
+          let r = d.(0) in
+          let b = r * nprocs / max 1 rows in
+          max 0 (min (nprocs - 1) b));
+    description = "block distribution by first dimension (rows)";
+  }
+
+(* Anchor class for an array: prefer a class containing a write, then the
+   first class in program order. *)
+let anchor_class cost name =
+  let classes =
+    List.filter
+      (fun (c : Cost.class_cost) -> c.Cost.cls.Uniform.array_name = name)
+      cost.Cost.classes
+  in
+  match List.filter (fun c -> Uniform.has_write c.Cost.cls) classes with
+  | c :: _ -> Some c
+  | [] -> ( match classes with c :: _ -> Some c | [] -> None)
+
+(* Invert the anchor reference on its reduced square part: given data
+   element d, find an iteration i with i*G = d - a.  Loop dimensions the
+   reference ignores are pinned to the iteration-space lower bound. *)
+let inverter (schedule : Codegen.schedule) (c : Cost.class_cost) =
+  let cls = c.Cost.cls in
+  let g = cls.Uniform.g in
+  let red = Size.reduce ~g ~spread:(Uniform.spread cls) in
+  if not red.Size.full_row_rank then None
+  else
+    match Qmat.inv (Qmat.of_imat red.Size.g_reduced) with
+    | None -> None
+    | Some ginv ->
+        let a =
+          match cls.Uniform.offsets with
+          | o :: _ -> o
+          | [] -> assert false
+        in
+        let bounds = Nest.bounds schedule.Codegen.nest in
+        let nesting = Nest.nesting schedule.Codegen.nest in
+        Some
+          (fun (d : Ivec.t) ->
+            let d_red =
+              Array.of_list
+                (List.map (fun j -> d.(j) - a.(j)) red.Size.kept_cols)
+            in
+            let coords =
+              Qmat.mul_row (Array.map Rat.of_int d_red) ginv
+            in
+            let i = Array.make nesting 0 in
+            Array.iteri (fun k (lo, _) -> i.(k) <- lo) bounds;
+            List.iteri
+              (fun pos row ->
+                (* Rational iterations round toward the containing tile. *)
+                i.(row) <- Rat.floor coords.(pos))
+              red.Size.kept_rows;
+            (* Clamp into the iteration space so every element gets an
+               owner even at the fringes of the footprint. *)
+            Array.iteri
+              (fun k (lo, hi) -> i.(k) <- max lo (min hi i.(k)))
+              bounds;
+            i)
+
+let aligned schedule cost =
+  let nprocs = schedule.Codegen.nprocs in
+  let own = Codegen.owner schedule in
+  let arrays = Nest.arrays schedule.Codegen.nest in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun name ->
+      match anchor_class cost name with
+      | None -> ()
+      | Some c -> (
+          match inverter schedule c with
+          | None -> ()
+          | Some inv -> Hashtbl.replace table name inv))
+    arrays;
+  {
+    nprocs;
+    home =
+      (fun name d ->
+        match Hashtbl.find_opt table name with
+        | Some inv -> own (inv d)
+        | None -> hash_home nprocs name d);
+    description = "loop-tile aligned placement (anchor-reference inverse)";
+  }
+
+let cumulative_spread_note cost =
+  List.map
+    (fun (c : Cost.class_cost) ->
+      (c.Cost.cls.Uniform.array_name, Uniform.cumulative_spread c.Cost.cls))
+    cost.Cost.classes
+
+let data_objective cost =
+  let nesting = Nest.nesting cost.Cost.nest in
+  Intmath.Mpoly.sum
+    (List.map
+       (fun (c : Cost.class_cost) ->
+         let cls = c.Cost.cls in
+         Intmath.Mpoly.scale_int c.Cost.sync_weight
+           (Size.rect_cumulative_poly ~nesting ~g:cls.Uniform.g
+              ~spread:(Uniform.cumulative_spread cls)))
+       cost.Cost.classes)
+
+let optimal_data_ratio cost ~nprocs =
+  let nest = cost.Cost.nest in
+  let extents = Nest.extents nest in
+  let volume =
+    float_of_int (Nest.iterations nest) /. float_of_int nprocs
+  in
+  let poly = data_objective cost in
+  Rectangular.continuous_minimize
+    (fun x -> Intmath.Mpoly.eval_float poly x)
+    ~volume ~extents

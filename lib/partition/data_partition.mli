@@ -1,0 +1,51 @@
+(** Data partitioning and alignment (Section 4 and footnote 2).
+
+    On a machine with physically distributed memory the arrays must be
+    placed so that cache misses are served by the local memory module.
+    Following the paper's implementation, each array is partitioned with
+    the same aspect ratio as the loop tiles and aligned: the data tile
+    that a loop tile's footprint covers is homed on the processor that
+    executes the loop tile.
+
+    The home map inverts the {e anchor reference} of the array (preferring
+    the class that writes it): data element [d] is assigned to the owner
+    of the iteration [i] with [i * G = d - a], when that system has a
+    rational solution; elements outside every footprint (or arrays with
+    non-invertible anchors) fall back to a deterministic hash. *)
+
+open Matrixkit
+
+type placement = {
+  nprocs : int;
+  home : string -> Ivec.t -> int;  (** array name, element -> processor *)
+  description : string;
+}
+
+val aligned : Codegen.schedule -> Cost.t -> placement
+(** Loop-tile-aligned placement (the paper's "Data Partitioning and
+    Alignment" phase). *)
+
+val round_robin : nprocs:int -> placement
+(** Element-wise hash distribution - the baseline a dumb allocator gives. *)
+
+val block_row : nprocs:int -> rows:int -> placement
+(** First-dimension block distribution: element [d] lives on
+    [d_0 * P / rows] clamped to range - the classic "distribute by rows"
+    layout the introduction argues against. *)
+
+val cumulative_spread_note : Cost.t -> (string * Ivec.t) list
+(** For reporting: footnote 2's [a+] cumulative spread per class (keyed by
+    array name), the quantity that replaces the max-min spread when
+    optimizing data rather than loop partitions. *)
+
+val data_objective : Cost.t -> Intmath.Mpoly.t
+(** Footnote 2's data-partitioning objective: the cumulative footprint
+    rebuilt with the cumulative spread [a+] in place of the max-min
+    spread (without dynamic copying, every reference whose offset
+    deviates from the median costs its own remote strip). *)
+
+val optimal_data_ratio : Cost.t -> nprocs:int -> float array
+(** Continuous optimum of {!data_objective} under the usual volume and
+    box constraints: the aspect ratio the arrays should be blocked with.
+    Section 4 aligns data tiles with loop tiles; this quantifies when the
+    two ratios agree (symmetric offsets) and when they diverge. *)

@@ -1,0 +1,34 @@
+(** Run-time scheduling baselines.
+
+    The introduction argues that run-time loop schedulers cannot optimize
+    for cache locality because communication patterns are invisible or
+    expensive to obtain at run time, citing Guided Self-Scheduling
+    (Polychronopoulos & Kuck, the paper's reference [1]).  This module
+    provides deterministic models of the classic run-time policies so the
+    simulator can quantify that argument against compile-time tiles:
+
+    - {e cyclic}: iteration [t] (in lexicographic order) runs on
+      processor [t mod P] - perfect load balance, worst locality;
+    - {e block-cyclic}: chunks of [chunk] consecutive iterations dealt
+      round-robin;
+    - {e guided self-scheduling}: each grab takes [ceil(remaining / P)]
+      consecutive iterations, processors served round-robin - the
+      decreasing-chunk policy of GSS under a fair arrival model. *)
+
+open Matrixkit
+open Loopir
+
+type assignment = Ivec.t list array
+(** Per-processor iteration lists, each in execution order. *)
+
+val of_schedule : Codegen.schedule -> assignment
+(** The compile-time tiled assignment (for uniform comparison). *)
+
+val cyclic : Nest.t -> nprocs:int -> assignment
+val block_cyclic : Nest.t -> nprocs:int -> chunk:int -> assignment
+val guided_self_scheduling : Nest.t -> nprocs:int -> assignment
+
+val total : assignment -> int
+(** Number of iterations assigned (for coverage checks). *)
+
+val max_load : assignment -> int

@@ -1,0 +1,216 @@
+open Matrixkit
+open Loopir
+open Footprint
+
+type result = {
+  l : Imat.t;
+  tile : Tile.t;
+  continuous_l : float array array;
+  continuous_cost : float;
+  rounded_cost : float;
+  rect_cost : float;
+  improves_on_rect : bool;
+}
+
+let class_index (c : Cost.class_cost) =
+  let g = c.Cost.cls.Uniform.g in
+  let red = Size.reduce ~g ~spread:(Uniform.spread c.Cost.cls) in
+  abs (Imat.det red.Size.g_reduced)
+
+let objective cost l =
+  try
+    List.fold_left
+      (fun acc (c : Cost.class_cost) ->
+        let g = c.Cost.cls.Uniform.g in
+        let spread = Uniform.spread c.Cost.cls in
+        let idx = class_index c in
+        if idx = 0 then raise (Size.Unsupported "singular reduced G");
+        let v = Size.pped_cumulative_float ~l ~g ~spread /. float_of_int idx in
+        acc +. (float_of_int c.Cost.sync_weight *. v))
+      0.0 cost.Cost.classes
+  with Size.Unsupported _ -> infinity
+
+let copy_mat m = Array.map Array.copy m
+
+(* The tile must fit inside the iteration space: the bounding box of the
+   tile (sum of |edge| per dimension) may not exceed the extents.  Without
+   this constraint the solver degenerates to infinitely long, thin tiles
+   along a communication-free direction. *)
+let box_penalty ~extents l =
+  let n = Array.length l in
+  let pen = ref 0.0 in
+  for k = 0 to n - 1 do
+    let bbox = ref 0.0 in
+    for i = 0 to n - 1 do
+      bbox := !bbox +. abs_float l.(i).(k)
+    done;
+    let ratio = !bbox /. float_of_int extents.(k) in
+    if ratio > 1.0 then pen := !pen +. ((ratio -. 1.0) ** 2.0)
+  done;
+  !pen
+
+let renormalize ~volume l =
+  let n = Array.length l in
+  let d = abs_float (Size.float_det l) in
+  if d < 1e-9 then None
+  else begin
+    let s = (volume /. d) ** (1.0 /. float_of_int n) in
+    Some (Array.map (Array.map (fun x -> x *. s)) l)
+  end
+
+let eval cost ~volume l =
+  match renormalize ~volume l with
+  | None -> infinity
+  | Some l' ->
+      let extents = Nest.extents cost.Cost.nest in
+      let base = objective cost l' in
+      base *. (1.0 +. (100.0 *. box_penalty ~extents l'))
+
+(* Golden-section over one entry of L; all evaluations renormalize the
+   determinant, so the search is effectively over tile shape. *)
+let refine_entry cost ~volume l i j =
+  let base = l.(i).(j) in
+  let width = 2.0 +. (2.0 *. abs_float base) in
+  let f t =
+    let m = copy_mat l in
+    m.(i).(j) <- t;
+    eval cost ~volume m
+  in
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let a = ref (base -. width) and b = ref (base +. width) in
+  let c = ref (!b -. (phi *. (!b -. !a))) in
+  let d = ref (!a +. (phi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  for _ = 1 to 60 do
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (phi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (phi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  let t = (!a +. !b) /. 2.0 in
+  if f t < eval cost ~volume l -. 1e-12 then l.(i).(j) <- t
+
+let descend cost ~volume l =
+  let n = Array.length l in
+  let prev = ref infinity in
+  let continue = ref true in
+  let rounds = ref 0 in
+  while !continue && !rounds < 25 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        refine_entry cost ~volume l i j
+      done
+    done;
+    let v = eval cost ~volume l in
+    if !prev -. v < 1e-7 *. (1.0 +. abs_float v) then continue := false;
+    prev := v;
+    incr rounds
+  done;
+  !prev
+
+let round_to_int ~volume l =
+  (* Round entries; small entries snap to the nearest integer, then the
+     result is checked for nonsingularity. *)
+  match renormalize ~volume l with
+  | None -> None
+  | Some l' ->
+      let n = Array.length l' in
+      let m =
+        Imat.make n n (fun i j -> int_of_float (Float.round l'.(i).(j)))
+      in
+      if Imat.det m = 0 then None else Some m
+
+let optimize cost ~nprocs =
+  let nest = cost.Cost.nest in
+  let l_dim = Nest.nesting nest in
+  let volume =
+    float_of_int (Nest.iterations nest) /. float_of_int nprocs
+  in
+  (* Bail out early when some class is outside the engine's domain. *)
+  if objective cost (Array.init l_dim (fun i ->
+          Array.init l_dim (fun j -> if i = j then 1.0 else 0.0)))
+     = infinity
+  then None
+  else begin
+    let extents = Nest.extents nest in
+    let rect_sizes =
+      Rectangular.continuous_optimum cost ~volume ~extents
+    in
+    let diag_start =
+      Array.init l_dim (fun i ->
+          Array.init l_dim (fun j -> if i = j then rect_sizes.(i) else 0.0))
+    in
+    let skew_starts =
+      (* Unit skews of the rectangular start in every off-diagonal
+         direction and orientation. *)
+      List.concat_map
+        (fun (i, j) ->
+          List.map
+            (fun sgn ->
+              let m = copy_mat diag_start in
+              m.(i).(j) <- sgn *. rect_sizes.(i);
+              m)
+            [ 1.0; -1.0 ])
+        (List.concat_map
+           (fun i ->
+             List.filter_map
+               (fun j -> if i <> j then Some (i, j) else None)
+               (List.init l_dim Fun.id))
+           (List.init l_dim Fun.id))
+    in
+    let best = ref None in
+    List.iter
+      (fun start ->
+        let l = copy_mat start in
+        let v = descend cost ~volume l in
+        match !best with
+        | Some (_, bv) when bv <= v -> ()
+        | _ -> best := Some (l, v))
+      (diag_start :: skew_starts);
+    match !best with
+    | None -> None
+    | Some (l, continuous_cost) -> (
+        let l = Option.value ~default:l (renormalize ~volume l) in
+        match round_to_int ~volume l with
+        | None -> None
+        | Some li ->
+            let rounded_cost =
+              objective cost
+                (Array.init l_dim (fun i ->
+                     Array.init l_dim (fun j ->
+                         float_of_int (Imat.get li i j))))
+            in
+            let rect =
+              objective cost
+                (Array.init l_dim (fun i ->
+                     Array.init l_dim (fun j ->
+                         if i = j then rect_sizes.(i) else 0.0)))
+            in
+            Some
+              {
+                l = li;
+                tile = Tile.pped li;
+                continuous_l = l;
+                continuous_cost;
+                rounded_cost;
+                rect_cost = rect;
+                improves_on_rect = continuous_cost < rect -. 1e-6;
+              })
+  end
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>L =@,%a@,continuous cost: %.2f@,rounded cost: %.2f@,best \
+     rectangular cost: %.2f@,parallelepiped improves: %b@]"
+    Imat.pp r.l r.continuous_cost r.rounded_cost r.rect_cost
+    r.improves_on_rect

@@ -1,0 +1,541 @@
+(* Tests for the cache-coherent multiprocessor substrate: address
+   interning, caches, directory, mesh, and the MSI simulator's agreement
+   with the analytical footprint model. *)
+
+open Partition
+open Machine
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Addr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_addr_interning () =
+  let t = Addr.create () in
+  let a = Addr.id t "A" [| 1; 2 |] in
+  let b = Addr.id t "A" [| 1; 3 |] in
+  let a' = Addr.id t "A" [| 1; 2 |] in
+  check "stable" a a';
+  checkb "distinct" true (a <> b);
+  checkb "array name matters" true (a <> Addr.id t "B" [| 1; 2 |]);
+  check "size" 3 (Addr.size t);
+  Alcotest.(check (pair string (list int)))
+    "reverse" ("A", [ 1; 2 ])
+    (Addr.element_of t a)
+
+let test_addr_growth () =
+  let t = Addr.create () in
+  for i = 0 to 9999 do
+    ignore (Addr.id t "X" [| i |])
+  done;
+  check "10k elements" 10000 (Addr.size t);
+  Alcotest.(check (pair string (list int)))
+    "reverse after growth" ("X", [ 9999 ])
+    (Addr.element_of t 9999)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_infinite_cache () =
+  let c = Cache.create Cache.Infinite in
+  checkb "empty" true (Cache.lookup c 42 = None);
+  ignore (Cache.insert c 42 Cache.Shared);
+  checkb "present" true (Cache.lookup c 42 = Some Cache.Shared);
+  Cache.set_state c 42 Cache.Modified;
+  checkb "state change" true (Cache.lookup c 42 = Some Cache.Modified);
+  Cache.invalidate c 42;
+  checkb "gone" true (Cache.lookup c 42 = None)
+
+let test_finite_cache_lru () =
+  (* One set, two ways: the third insert evicts the least recent. *)
+  let c = Cache.create (Cache.Finite { sets = 1; ways = 2 }) in
+  checkb "no victim 1" true (Cache.insert c 1 Cache.Shared = None);
+  checkb "no victim 2" true (Cache.insert c 2 Cache.Shared = None);
+  (* Touch 1 so 2 becomes LRU. *)
+  ignore (Cache.lookup c 1);
+  (match Cache.insert c 3 Cache.Shared with
+  | Some v -> check "evicts 2" 2 v
+  | None -> Alcotest.fail "expected eviction");
+  checkb "1 survives" true (Cache.resident c 1);
+  checkb "3 present" true (Cache.resident c 3);
+  check "occupancy" 2 (Cache.occupancy c)
+
+let test_finite_cache_sets () =
+  (* Two sets: even and odd addresses do not conflict. *)
+  let c = Cache.create (Cache.Finite { sets = 2; ways = 1 }) in
+  ignore (Cache.insert c 2 Cache.Shared);
+  ignore (Cache.insert c 3 Cache.Shared);
+  checkb "both resident" true (Cache.resident c 2 && Cache.resident c 3);
+  (match Cache.insert c 4 Cache.Shared with
+  | Some v -> check "same-set eviction" 2 v
+  | None -> Alcotest.fail "expected eviction")
+
+(* ------------------------------------------------------------------ *)
+(* Directory                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_directory () =
+  let d = Directory.create () in
+  Alcotest.(check (list int)) "empty" [] (Directory.sharers d 7);
+  Directory.add_sharer d 7 1;
+  Directory.add_sharer d 7 3;
+  Alcotest.(check (list int)) "two sharers" [ 1; 3 ] (Directory.sharers d 7);
+  Directory.set_owner d 7 2;
+  Alcotest.(check (list int)) "owner displaces" [ 2 ] (Directory.sharers d 7);
+  Alcotest.(check (option int)) "owner" (Some 2) (Directory.owner d 7);
+  Directory.downgrade_owner d 7;
+  Alcotest.(check (option int)) "downgraded" None (Directory.owner d 7);
+  Alcotest.(check (list int)) "still sharing" [ 2 ] (Directory.sharers d 7);
+  Directory.remove d 7 2;
+  Alcotest.(check (list int)) "removed" [] (Directory.sharers d 7)
+
+(* ------------------------------------------------------------------ *)
+(* Mesh                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mesh_distance () =
+  let m = Mesh.mesh ~nprocs:16 in
+  check "self" 0 (Mesh.distance m 5 5);
+  (* 4x4 grid: 0 at (0,0), 15 at (3,3). *)
+  check "corner to corner" 6 (Mesh.distance m 0 15);
+  check "symmetric" (Mesh.distance m 3 12) (Mesh.distance m 12 3);
+  let u = Mesh.uniform ~nprocs:16 in
+  check "uniform distance" 1 (Mesh.distance u 0 15);
+  checkb "is_uniform" true (Mesh.is_uniform u)
+
+let test_mesh_triangle_inequality () =
+  let m = Mesh.mesh ~nprocs:12 in
+  for a = 0 to 11 do
+    for b = 0 to 11 do
+      for c = 0 to 11 do
+        checkb "triangle" true
+          (Mesh.distance m a c <= Mesh.distance m a b + Mesh.distance m b c)
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let layout_nest () =
+  let open Loopir.Dsl in
+  let i = var 0 and j = var 1 in
+  nest ~name:"layout"
+    [ doall "i" 1 8; doall "j" 1 8 ]
+    [ write "A" [ i; j ]; read "B" [ i + j; i - j ] ]
+
+let test_layout_addresses () =
+  let l = Layout.of_nest (layout_nest ()) in
+  (* Distinct elements -> distinct addresses; row-major adjacency. *)
+  let a11 = Layout.address l "A" [| 1; 1 |] in
+  let a12 = Layout.address l "A" [| 1; 2 |] in
+  let a21 = Layout.address l "A" [| 2; 1 |] in
+  check "last dim contiguous" (a11 + 1) a12;
+  check "row stride 8" (a11 + 8) a21;
+  checkb "arrays disjoint" true
+    (Layout.address l "B" [| 2; 0 |] <> a11);
+  Alcotest.(check (pair string (list int)))
+    "reverse" ("A", [ 1; 2 ])
+    (Layout.element_of l a12);
+  checkb "outside box rejected" true
+    (try
+       ignore (Layout.address l "A" [| 0; 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_layout_alignment () =
+  let l = Layout.of_nest ~line_align:8 (layout_nest ()) in
+  (* The lo corner of each array's bounding box is its base address:
+     A spans [1,8]x[1,8], B spans [2,16]x[-7,7]. *)
+  check "A base aligned" 0 (Layout.address l "A" [| 1; 1 |] mod 8);
+  check "B base aligned" 0 (Layout.address l "B" [| 2; -7 |] mod 8)
+
+let test_layout_lines () =
+  let l = Layout.of_nest ~line_align:4 (layout_nest ()) in
+  let line p = Layout.line l ~line_size:4 "A" p in
+  check "neighbours share a line" (line [| 1; 1 |]) (line [| 1; 2 |]);
+  checkb "distant elements differ" true (line [| 1; 1 |] <> line [| 5; 5 |])
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_timing_monotone () =
+  let mk misses hops =
+    let st = Stats.create ~nprocs:4 in
+    st.Stats.hits <- 1000;
+    st.Stats.remote_fills <- misses;
+    st.Stats.network_hops <- hops;
+    st
+  in
+  let p = Timing.alewife_like in
+  let cheap = Timing.cycles (mk 10 20) ~nprocs:4 p in
+  let costly = Timing.cycles (mk 100 200) ~nprocs:4 p in
+  checkb "more misses cost more" true (costly > cheap);
+  Alcotest.(check (float 1e-9))
+    "speedup ratio"
+    (costly /. cheap)
+    (Timing.speedup ~baseline:(mk 100 200) ~improved:(mk 10 20) ~nprocs:4 p)
+
+(* ------------------------------------------------------------------ *)
+(* Placement map                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v ->
+      v >= 0 && v < n
+      &&
+      if seen.(v) then false
+      else begin
+        seen.(v) <- true;
+        true
+      end)
+    perm
+
+let test_placement_permutations () =
+  let grid = [| 4; 4 |] in
+  let mesh = Mesh.mesh ~nprocs:16 in
+  List.iter
+    (fun s ->
+      checkb
+        (Format.asprintf "%a is a permutation" Placement_map.pp_strategy s)
+        true
+        (is_permutation (Placement_map.permutation s ~grid ~mesh)))
+    Placement_map.[ Linear; Snake; Folded; Serpentine; Shuffled 7 ];
+  let grid3 = [| 2; 3; 4 |] in
+  let mesh3 = Mesh.mesh ~nprocs:24 in
+  List.iter
+    (fun s ->
+      checkb "3d permutation" true
+        (is_permutation (Placement_map.permutation s ~grid:grid3 ~mesh:mesh3)))
+    Placement_map.[ Linear; Snake; Folded; Serpentine; Shuffled 7 ]
+
+let test_placement_costs () =
+  let mesh = Mesh.mesh ~nprocs:16 in
+  let grid = [| 4; 4 |] in
+  let cost s =
+    Placement_map.neighbor_hop_cost ~grid ~mesh
+      (Placement_map.permutation s ~grid ~mesh)
+  in
+  (* The 4x4 grid maps onto the 4x4 mesh perfectly: linear is optimal
+     (every grid neighbour is a mesh neighbour). *)
+  check "linear on matching mesh" 24 (cost Placement_map.Linear);
+  checkb "random is worse" true (cost (Placement_map.Shuffled 42) > 24);
+  let _, _, best_cost = Placement_map.best ~grid ~mesh in
+  check "best finds the optimum" 24 best_cost
+
+let test_placement_grid_mesh_mismatch () =
+  (* A 16x1 virtual chain on a 4x4 mesh: the snake keeps chain
+     neighbours at mesh distance 1; the linear map pays the row wrap. *)
+  let mesh = Mesh.mesh ~nprocs:16 in
+  let grid = [| 16; 1 |] in
+  let cost s =
+    Placement_map.neighbor_hop_cost ~grid ~mesh
+      (Placement_map.permutation s ~grid ~mesh)
+  in
+  (* Every consecutive pair of a serpentine walk is a mesh neighbour:
+     the 15 chain links cost exactly 15 hops, beating row-major's wraps. *)
+  check "serpentine is optimal for a chain" 15 (cost Placement_map.Serpentine);
+  checkb "serpentine < linear" true
+    (cost Placement_map.Serpentine < cost Placement_map.Linear)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator invariants                                                *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_ex2 () =
+  let nest = Loopart.Programs.example2 () in
+  let cost = Cost.of_nest nest in
+  let sched tile = Codegen.make nest tile ~nprocs:100 in
+  (nest, cost, sched)
+
+let test_sim_footprints_match_theory () =
+  (* The per-processor unique-address counts must equal the analytic
+     cumulative footprint: 204 for column tiles, 240 for 10x10. *)
+  let _, _, sched = analyze_ex2 () in
+  let r = Sim.run (sched (Tile.rect [| 100; 1 |])) Sim.default in
+  Array.iter (fun f -> check "column footprint 204" 204 f) (Sim.footprints r);
+  let r2 = Sim.run (sched (Tile.rect [| 10; 10 |])) Sim.default in
+  Array.iter (fun f -> check "square footprint 240" 240 f) (Sim.footprints r2)
+
+let test_sim_infinite_cache_miss_identity () =
+  (* With infinite caches and a single pass, misses per processor equal
+     its footprint (every element misses exactly once, reads never lose
+     lines). *)
+  let _, _, sched = analyze_ex2 () in
+  let r = Sim.run (sched (Tile.rect [| 10; 10 |])) Sim.default in
+  let st = r.Sim.stats in
+  check "misses = sum of footprints"
+    (Array.fold_left ( + ) 0 (Sim.footprints r))
+    st.Stats.misses;
+  check "all cold" st.Stats.misses st.Stats.cold_misses;
+  check "no replacements" 0 st.Stats.replacement_misses
+
+let test_sim_comm_free_partition () =
+  let _, _, sched = analyze_ex2 () in
+  let r = Sim.run (sched (Tile.rect [| 100; 1 |])) Sim.default in
+  check "zero coherence" 0 r.Sim.stats.Stats.coherence_misses;
+  check "zero invalidations" 0 r.Sim.stats.Stats.invalidations
+
+let test_sim_accesses_accounting () =
+  let _, _, sched = analyze_ex2 () in
+  let r = Sim.run (sched (Tile.rect [| 10; 10 |])) Sim.default in
+  let st = r.Sim.stats in
+  (* 10000 iterations x 3 references. *)
+  check "accesses" 30000 st.Stats.accesses;
+  check "reads" 20000 st.Stats.reads;
+  check "writes" 10000 st.Stats.writes;
+  check "hits + misses = accesses" st.Stats.accesses
+    (st.Stats.hits + st.Stats.misses)
+
+let test_sim_doseq_steady_state () =
+  (* Second and later passes over a read-only array are free; an in-place
+     update keeps producing coherence traffic. *)
+  let ro = Loopart.Programs.stencil5 ~n:16 ~steps:3 () in
+  let sched = Codegen.make ro (Tile.rect [| 8; 8 |]) ~nprocs:4 in
+  let r = Sim.run sched Sim.default in
+  check "read-only: no coherence misses" 0 r.Sim.stats.Stats.coherence_misses;
+  let ip = Loopart.Programs.relax_inplace ~n:17 ~steps:3 () in
+  let sched2 = Codegen.make ip (Tile.rect [| 8; 8 |]) ~nprocs:4 in
+  let r2 = Sim.run sched2 Sim.default in
+  checkb "in-place: coherence misses appear" true
+    (r2.Sim.stats.Stats.coherence_misses > 0);
+  checkb "in-place: invalidations appear" true
+    (r2.Sim.stats.Stats.invalidations > 0)
+
+let test_sim_accumulate_counts_sync () =
+  let mm = Loopart.Programs.matmul ~n:8 () in
+  let sched = Codegen.make mm (Tile.rect [| 4; 4; 4 |]) ~nprocs:8 in
+  let r = Sim.run sched Sim.default in
+  (* Every iteration performs one accumulate. *)
+  check "sync ops" 512 r.Sim.stats.Stats.sync_ops;
+  checkb "accumulates cause invalidations" true
+    (r.Sim.stats.Stats.invalidations > 0)
+
+let test_sim_finite_cache_replacements () =
+  let _, _, sched = analyze_ex2 () in
+  let cfg =
+    { Sim.default with Sim.geometry = Cache.Finite { sets = 16; ways = 2 } }
+  in
+  let r = Sim.run (sched (Tile.rect [| 10; 10 |])) cfg in
+  checkb "replacement misses appear" true
+    (r.Sim.stats.Stats.replacement_misses > 0);
+  (* Infinite-cache run dominates the finite one. *)
+  let r_inf = Sim.run (sched (Tile.rect [| 10; 10 |])) Sim.default in
+  checkb "finite cache misses more" true
+    (r.Sim.stats.Stats.misses >= r_inf.Sim.stats.Stats.misses)
+
+let test_sim_aligned_placement_local_fills () =
+  (* With mesh topology and aligned placement, writes to the private
+     array A fill locally. *)
+  let nest = Loopart.Programs.example2 () in
+  let cost = Cost.of_nest nest in
+  let sched = Codegen.make nest (Tile.rect [| 100; 1 |]) ~nprocs:100 in
+  let placement = Data_partition.aligned sched cost in
+  let cfg =
+    {
+      Sim.default with
+      Sim.topology = Sim.Mesh2d;
+      placement = Some placement;
+    }
+  in
+  let r = Sim.run sched cfg in
+  checkb "some local fills" true (r.Sim.stats.Stats.local_fills > 0);
+  let rr = Data_partition.round_robin ~nprocs:100 in
+  let cfg2 =
+    { Sim.default with Sim.topology = Sim.Mesh2d; placement = Some rr }
+  in
+  let r2 = Sim.run sched cfg2 in
+  checkb "aligned beats round robin on local fills" true
+    (r.Sim.stats.Stats.local_fills > r2.Sim.stats.Stats.local_fills);
+  checkb "aligned has fewer hops" true
+    (r.Sim.stats.Stats.network_hops < r2.Sim.stats.Stats.network_hops)
+
+let test_sim_deterministic () =
+  let _, _, sched = analyze_ex2 () in
+  let r1 = Sim.run (sched (Tile.rect [| 20; 5 |])) Sim.default in
+  let r2 = Sim.run (sched (Tile.rect [| 20; 5 |])) Sim.default in
+  check "same misses" r1.Sim.stats.Stats.misses r2.Sim.stats.Stats.misses;
+  check "same hops" r1.Sim.stats.Stats.network_hops
+    r2.Sim.stats.Stats.network_hops
+
+let test_sim_line_size () =
+  (* The relaxation walks the contiguous dimension, so wider lines cut
+     misses roughly in proportion to the line size. *)
+  let nest = Loopart.Programs.relax_inplace ~n:33 ~steps:1 () in
+  let sched = Codegen.make nest (Tile.rect [| 8; 8 |]) ~nprocs:16 in
+  let run line_size = Sim.run sched { Sim.default with Sim.line_size } in
+  let r1 = run 1 and r4 = run 4 in
+  checkb "wider lines miss less" true
+    (r4.Sim.stats.Stats.misses * 2 < r1.Sim.stats.Stats.misses);
+  (* Accesses are unaffected by the coherence granularity. *)
+  check "same accesses" r1.Sim.stats.Stats.accesses
+    r4.Sim.stats.Stats.accesses;
+  (* But a diagonal access pattern gets no line reuse: example 2's
+     column tiles stride both array dimensions at once. *)
+  let _, _, sched2 = analyze_ex2 () in
+  let e1 = Sim.run (sched2 (Tile.rect [| 100; 1 |])) Sim.default in
+  let e4 =
+    Sim.run (sched2 (Tile.rect [| 100; 1 |]))
+      { Sim.default with Sim.line_size = 4 }
+  in
+  checkb "diagonal walk barely benefits" true
+    (e4.Sim.stats.Stats.misses * 2 > e1.Sim.stats.Stats.misses)
+
+let test_sim_false_sharing () =
+  (* Two processors writing interleaved elements of one row share every
+     line when lines are wide: invalidations appear that unit lines do
+     not have. *)
+  let nest =
+    let open Loopir.Dsl in
+    let i = var 0 and j = var 1 in
+    nest ~name:"false_share" ~seq:(doseq "t" 1 2)
+      [ doall "i" 1 2; doall "j" 1 16 ]
+      [ write "A" [ j; i ] ]
+    (* note: j is the slow dimension of A, i the contiguous one *)
+  in
+  let sched = Codegen.make nest (Tile.rect [| 1; 16 |]) ~nprocs:2 in
+  let unit = Sim.run sched Sim.default in
+  let wide = Sim.run sched { Sim.default with Sim.line_size = 2 } in
+  check "no sharing with unit lines" 0 unit.Sim.stats.Stats.invalidations;
+  checkb "false sharing with wide lines" true
+    (wide.Sim.stats.Stats.invalidations > 0)
+
+let test_sim_interleave_same_footprints () =
+  let _, _, sched = analyze_ex2 () in
+  let seq = { Sim.default with Sim.interleave = false } in
+  let r1 = Sim.run (sched (Tile.rect [| 10; 10 |])) Sim.default in
+  let r2 = Sim.run (sched (Tile.rect [| 10; 10 |])) seq in
+  Alcotest.(check (array int))
+    "footprints independent of issue order" (Sim.footprints r1)
+    (Sim.footprints r2)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_layout_injective_roundtrip =
+  QCheck2.Test.make ~name:"layout addresses are injective and reversible"
+    ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 8)
+        (list_size (int_range 2 20)
+           (pair (int_range 1 8) (int_range 1 8))))
+    (fun (align, points) ->
+      let l = Layout.of_nest ~line_align:align (layout_nest ()) in
+      let addrs =
+        List.map (fun (i, j) -> ((i, j), Layout.address l "A" [| i; j |])) points
+      in
+      List.for_all
+        (fun ((p1, a1) : (int * int) * int) ->
+          List.for_all
+            (fun ((p2, a2) : (int * int) * int) -> p1 = p2 || a1 <> a2)
+            addrs
+          &&
+          let name, coords = Layout.element_of l a1 in
+          name = "A" && coords = [ fst p1; snd p1 ])
+        addrs)
+
+let prop_mesh_distance_metric =
+  QCheck2.Test.make ~name:"mesh distance is a metric" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 2 30) (triple (int_range 0 29) (int_range 0 29) (int_range 0 29)))
+    (fun (n, (a, b, c)) ->
+      QCheck2.assume (a < n && b < n && c < n);
+      let m = Mesh.mesh ~nprocs:n in
+      Mesh.distance m a a = 0
+      && Mesh.distance m a b = Mesh.distance m b a
+      && Mesh.distance m a c <= Mesh.distance m a b + Mesh.distance m b c)
+
+let prop_placement_bijective =
+  QCheck2.Test.make ~name:"placement permutations are bijections" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 3) (int_range 1 4))
+        (oneofl
+           Placement_map.
+             [ Linear; Snake; Folded; Serpentine; Shuffled 3; Shuffled 99 ]))
+    (fun (grid_l, strategy) ->
+      let grid = Array.of_list grid_l in
+      let n = Array.fold_left ( * ) 1 grid in
+      let mesh = Mesh.mesh ~nprocs:n in
+      is_permutation (Placement_map.permutation strategy ~grid ~mesh))
+
+let machine_props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_layout_injective_roundtrip;
+      prop_mesh_distance_metric;
+      prop_placement_bijective;
+    ]
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "interning" `Quick test_addr_interning;
+          Alcotest.test_case "growth" `Quick test_addr_growth;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "infinite" `Quick test_infinite_cache;
+          Alcotest.test_case "finite LRU" `Quick test_finite_cache_lru;
+          Alcotest.test_case "finite sets" `Quick test_finite_cache_sets;
+        ] );
+      ("directory", [ Alcotest.test_case "protocol states" `Quick test_directory ]);
+      ( "layout",
+        [
+          Alcotest.test_case "addresses" `Quick test_layout_addresses;
+          Alcotest.test_case "alignment" `Quick test_layout_alignment;
+          Alcotest.test_case "lines" `Quick test_layout_lines;
+        ] );
+      ( "timing",
+        [ Alcotest.test_case "monotone in events" `Quick test_timing_monotone ] );
+      ( "placement map",
+        [
+          Alcotest.test_case "permutations" `Quick
+            test_placement_permutations;
+          Alcotest.test_case "matching mesh" `Quick test_placement_costs;
+          Alcotest.test_case "chain on mesh" `Quick
+            test_placement_grid_mesh_mismatch;
+        ] );
+      ( "mesh",
+        [
+          Alcotest.test_case "distances" `Quick test_mesh_distance;
+          Alcotest.test_case "triangle inequality" `Quick
+            test_mesh_triangle_inequality;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "footprints match theory" `Quick
+            test_sim_footprints_match_theory;
+          Alcotest.test_case "infinite-cache miss identity" `Quick
+            test_sim_infinite_cache_miss_identity;
+          Alcotest.test_case "communication-free partition" `Quick
+            test_sim_comm_free_partition;
+          Alcotest.test_case "access accounting" `Quick
+            test_sim_accesses_accounting;
+          Alcotest.test_case "doseq steady state" `Quick
+            test_sim_doseq_steady_state;
+          Alcotest.test_case "accumulate sync" `Quick
+            test_sim_accumulate_counts_sync;
+          Alcotest.test_case "finite cache replacements" `Quick
+            test_sim_finite_cache_replacements;
+          Alcotest.test_case "aligned placement" `Quick
+            test_sim_aligned_placement_local_fills;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "cache lines" `Quick test_sim_line_size;
+          Alcotest.test_case "false sharing" `Quick test_sim_false_sharing;
+          Alcotest.test_case "interleave-insensitive footprints" `Quick
+            test_sim_interleave_same_footprints;
+        ] );
+      ("properties", machine_props);
+    ]

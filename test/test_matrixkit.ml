@@ -1,0 +1,475 @@
+(* Unit and property tests for the exact linear-algebra substrate:
+   matrices, Hermite/Smith normal forms, and the bounded-lattice results
+   (Definition 9 / Theorem 3 / Lemma 3) that power Theorem 4. *)
+
+open Intmath
+open Matrixkit
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let imat = Alcotest.testable Imat.pp Imat.equal
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+(* ------------------------------------------------------------------ *)
+(* Imat basics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let m_2x2 = Imat.of_rows [ [ 1; 2 ]; [ 3; 4 ] ]
+let m_ex2 = Imat.of_rows [ [ 1; 1 ]; [ 1; -1 ] ] (* Example 2's B matrix *)
+
+let test_construction () =
+  check "rows" 2 (Imat.rows m_2x2);
+  check "cols" 2 (Imat.cols m_2x2);
+  check "get" 3 (Imat.get m_2x2 1 0);
+  Alcotest.check imat "of_array round trip"
+    m_2x2
+    (Imat.of_array [| [| 1; 2 |]; [| 3; 4 |] |]);
+  checkb "ragged rejected" true
+    (try
+       ignore (Imat.of_rows [ [ 1 ]; [ 1; 2 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_arith () =
+  Alcotest.check imat "add" (Imat.of_rows [ [ 2; 4 ]; [ 6; 8 ] ])
+    (Imat.add m_2x2 m_2x2);
+  Alcotest.check imat "transpose" (Imat.of_rows [ [ 1; 3 ]; [ 2; 4 ] ])
+    (Imat.transpose m_2x2);
+  Alcotest.check imat "identity mul" m_2x2 (Imat.mul (Imat.identity 2) m_2x2);
+  Alcotest.(check (array int))
+    "row-vector mul" [| 7; 10 |]
+    (Imat.mul_row [| 1; 2 |] m_2x2)
+
+let test_det () =
+  check "det 2x2" (-2) (Imat.det m_2x2);
+  check "det example2 G" (-2) (Imat.det m_ex2);
+  check "det identity" 1 (Imat.det (Imat.identity 4));
+  check "det singular" 0 (Imat.det (Imat.of_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  (* A 3x3 with known determinant. *)
+  check "det 3x3" (-306)
+    (Imat.det (Imat.of_rows [ [ 6; 1; 1 ]; [ 4; -2; 5 ]; [ 2; 8; 7 ] ]))
+
+let test_rank () =
+  check "full" 2 (Imat.rank m_2x2);
+  check "deficient" 1 (Imat.rank (Imat.of_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  check "wide" 2 (Imat.rank (Imat.of_rows [ [ 1; 2; 1 ]; [ 0; 0; 1 ] ]));
+  check "zero" 0 (Imat.rank (Imat.zero 3 3))
+
+let test_unimodular () =
+  checkb "identity" true (Imat.is_unimodular (Imat.identity 3));
+  checkb "shear" true (Imat.is_unimodular (Imat.of_rows [ [ 1; 0 ]; [ 5; 1 ] ]));
+  checkb "det -2" false (Imat.is_unimodular m_ex2)
+
+let test_replace_row () =
+  Alcotest.check imat "replace"
+    (Imat.of_rows [ [ 9; 9 ]; [ 3; 4 ] ])
+    (Imat.replace_row m_2x2 0 [| 9; 9 |])
+
+let test_independent_cols () =
+  (* Example 7's matrix: columns 0 and 2 are a maximal independent set. *)
+  let g = Imat.of_rows [ [ 1; 2; 1 ]; [ 0; 0; 1 ] ] in
+  Alcotest.(check (list int)) "example 7" [ 0; 2 ] (Imat.max_independent_cols g);
+  Alcotest.(check (list int))
+    "identity keeps all" [ 0; 1 ]
+    (Imat.max_independent_cols (Imat.identity 2))
+
+let test_gcd_minors () =
+  check "identity" 1 (Imat.gcd_maximal_minors (Imat.identity 3));
+  check "2x scaled identity" 4
+    (Imat.gcd_maximal_minors (Imat.of_rows [ [ 2; 0 ]; [ 0; 2 ] ]));
+  check "wide matrix" 1
+    (Imat.gcd_maximal_minors (Imat.of_rows [ [ 1; 0; 3 ]; [ 0; 1; 4 ] ]))
+
+let test_zero_cols () =
+  (* Example 1's matrix has zero columns 1 and 3. *)
+  let g =
+    Imat.of_rows [ [ 0; 0; 0; 0 ]; [ 0; 0; 1; 0 ]; [ 1; 0; 0; 0 ] ]
+  in
+  checkb "has zero col" true (Imat.has_zero_col g);
+  let reduced, kept = Imat.drop_zero_cols g in
+  Alcotest.(check (list int)) "kept" [ 0; 2 ] kept;
+  check "reduced cols" 2 (Imat.cols reduced)
+
+(* ------------------------------------------------------------------ *)
+(* Qmat                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_qmat_inv () =
+  let q = Qmat.of_imat m_2x2 in
+  match Qmat.inv q with
+  | None -> Alcotest.fail "2x2 should invert"
+  | Some inv ->
+      checkb "A * A^-1 = I" true (Qmat.equal (Qmat.mul q inv) (Qmat.identity 2));
+      checkb "singular returns None" true
+        (Qmat.inv (Qmat.of_imat (Imat.of_rows [ [ 1; 2 ]; [ 2; 4 ] ])) = None)
+
+let test_qmat_det () =
+  Alcotest.check rat "det" (Rat.of_int (-2)) (Qmat.det (Qmat.of_imat m_2x2));
+  Alcotest.check rat "det agrees with Imat" (Rat.of_int (-306))
+    (Qmat.det
+       (Qmat.of_imat (Imat.of_rows [ [ 6; 1; 1 ]; [ 4; -2; 5 ]; [ 2; 8; 7 ] ])))
+
+let test_solve_left () =
+  (* x * G = b with G = [[1,1],[1,-1]], b = (4,2): x = (3,1). *)
+  let g = Qmat.of_imat m_ex2 in
+  (match Qmat.solve_left g (Array.map Rat.of_int [| 4; 2 |]) with
+  | None -> Alcotest.fail "solvable system"
+  | Some x ->
+      Alcotest.check rat "x0" (Rat.of_int 3) x.(0);
+      Alcotest.check rat "x1" (Rat.of_int 1) x.(1));
+  (* Inconsistent system: rows dependent, rhs off the row space. *)
+  let sing = Qmat.of_imat (Imat.of_rows [ [ 1; 2 ]; [ 2; 4 ] ]) in
+  checkb "inconsistent -> None" true
+    (Qmat.solve_left sing (Array.map Rat.of_int [| 1; 0 |]) = None);
+  (* Underdetermined but consistent: wide row space. *)
+  let wide = Qmat.of_imat (Imat.of_rows [ [ 1; 0 ]; [ 0; 1 ]; [ 1; 1 ] ]) in
+  (match Qmat.solve_left wide (Array.map Rat.of_int [| 2; 3 |]) with
+  | None -> Alcotest.fail "consistent underdetermined"
+  | Some x ->
+      let b = Qmat.mul_row x wide in
+      Alcotest.check rat "b0" (Rat.of_int 2) b.(0);
+      Alcotest.check rat "b1" (Rat.of_int 3) b.(1))
+
+(* ------------------------------------------------------------------ *)
+(* Hermite normal form                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_hnf_shape () =
+  let g = Imat.of_rows [ [ 4; 6 ]; [ 2; 5 ] ] in
+  let h, u = Hnf.row_hnf g in
+  checkb "u unimodular" true (Imat.is_unimodular u);
+  Alcotest.check imat "h = u*g" h (Imat.mul u g);
+  (* Echelon with positive pivots. *)
+  checkb "pivot positive" true (Imat.get h 0 0 > 0)
+
+let test_solve_left_int () =
+  (* Example 10's intersection tests: G = [[1,2,1],[0,0,2]].
+     (0,0,2) is in the row lattice; (1,2,2) is not. *)
+  let g = Imat.of_rows [ [ 1; 2; 1 ]; [ 0; 0; 2 ] ] in
+  checkb "in lattice" true (Hnf.mem_row_lattice g [| 0; 0; 2 |]);
+  checkb "not in lattice" false (Hnf.mem_row_lattice g [| 1; 2; 2 |]);
+  (match Hnf.solve_left_int g [| 1; 2; 3 |] with
+  | Some x ->
+      Alcotest.(check (array int))
+        "solution check" [| 1; 2; 3 |]
+        (Imat.mul_row x g)
+  | None -> Alcotest.fail "(1,2,3) = row1 + row2 is solvable");
+  (* A[2i] vs A[2i+1]: delta 1 is not a multiple of 2. *)
+  let g2 = Imat.of_rows [ [ 2 ] ] in
+  checkb "A[2i] vs A[2i+1]" false (Hnf.mem_row_lattice g2 [| 1 |])
+
+let test_onto_one_to_one () =
+  (* Lemma 1 / Lemma 2 examples. *)
+  checkb "identity onto" true (Hnf.is_onto (Imat.identity 2));
+  checkb "2I not onto" false
+    (Hnf.is_onto (Imat.of_rows [ [ 2; 0 ]; [ 0; 2 ] ]));
+  checkb "[[1],[1]] (A[i+j]) onto Z" true
+    (Hnf.is_onto (Imat.of_rows [ [ 1 ]; [ 1 ] ]));
+  checkb "[[1],[1]] not 1-1" false
+    (Hnf.is_one_to_one (Imat.of_rows [ [ 1 ]; [ 1 ] ]));
+  checkb "example2 G 1-1" true (Hnf.is_one_to_one m_ex2)
+
+let test_left_nullspace () =
+  (* A[i,k] in a 3-nest: row j is zero -> nullspace contains e_j. *)
+  let g = Imat.of_rows [ [ 1; 0 ]; [ 0; 0 ]; [ 0; 1 ] ] in
+  (match Hnf.left_nullspace g with
+  | None -> Alcotest.fail "has nullspace"
+  | Some b ->
+      check "one basis vector" 1 (Imat.rows b);
+      Alcotest.(check (array int))
+        "kills G" [| 0; 0 |]
+        (Imat.mul_row (Imat.row b 0) g));
+  checkb "full-rank rows -> None" true (Hnf.left_nullspace m_ex2 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Smith normal form                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_snf () =
+  let g = Imat.of_rows [ [ 2; 4; 4 ]; [ -6; 6; 12 ]; [ 10; 4; 16 ] ] in
+  let s, u, v = Snf.smith g in
+  checkb "u unimodular" true (Imat.is_unimodular u);
+  checkb "v unimodular" true (Imat.is_unimodular v);
+  Alcotest.check imat "s = u*g*v" s (Imat.mul (Imat.mul u g) v);
+  (* |det| = 624 = 2*2*156 with the divisibility chain 2 | 2 | 156. *)
+  Alcotest.(check (list int)) "factors" [ 2; 2; 156 ] (Snf.invariant_factors g);
+  check "product = |det|" 624
+    (List.fold_left ( * ) 1 (Snf.invariant_factors g));
+  (* Rank-deficient classic: [[1..3],[4..6],[7..9]] has factors 1, 3. *)
+  Alcotest.(check (list int)) "singular matrix factors" [ 1; 3 ]
+    (Snf.invariant_factors
+       (Imat.of_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8; 9 ] ]))
+
+let test_snf_divisibility () =
+  let g = Imat.of_rows [ [ 1; 1 ]; [ 1; -1 ] ] in
+  (* det -2: factors 1, 2. *)
+  Alcotest.(check (list int)) "factors of example2 G" [ 1; 2 ]
+    (Snf.invariant_factors g);
+  check "index" 2 (Snf.lattice_index g)
+
+(* ------------------------------------------------------------------ *)
+(* Polynomial matrices                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pmat_generic_det () =
+  (* det of the generic 2x2: L11*L22 - L12*L21. *)
+  let l = Pmat.generic 2 in
+  let names = Pmat.entry_names 2 in
+  Alcotest.(check string)
+    "generic determinant" "-L12*L21 + L11*L22"
+    (Mpoly.to_string ~names (Pmat.det l))
+
+let test_pmat_eval_matches_qmat () =
+  let l = Pmat.generic 2 in
+  let env = Array.map Rat.of_int [| 3; 1; 4; 5 |] in
+  let q = Pmat.eval l env in
+  Alcotest.check rat "det agrees" (Qmat.det q) (Mpoly.eval (Pmat.det l) env)
+
+let test_pmat_mul_replace () =
+  let g = Imat.of_rows [ [ 1; 0 ]; [ 1; 1 ] ] in
+  let lg = Pmat.mul (Pmat.generic 2) (Pmat.of_imat g) in
+  let names = Pmat.entry_names 2 in
+  (* First row of LG: (L11 + L12, L12). *)
+  Alcotest.(check string)
+    "LG entry" "L12 + L11"
+    (Mpoly.to_string ~names (Pmat.get lg 0 0));
+  let replaced =
+    Pmat.replace_row lg 0 [| Mpoly.const_int 1; Mpoly.const_int 3 |]
+  in
+  Alcotest.(check string)
+    "replaced det" "-2*L22 - 3*L21"
+    (Mpoly.to_string ~names (Pmat.det replaced))
+
+let prop_pmat_det_matches_numeric =
+  QCheck2.Test.make ~name:"Pmat.det = Qmat.det after eval" ~count:200
+    QCheck2.Gen.(
+      array_size (return 9) (int_range (-4) 4))
+    (fun entries ->
+      let l = Pmat.generic 3 in
+      let env = Array.map Rat.of_int entries in
+      Rat.equal
+        (Mpoly.eval (Pmat.det l) env)
+        (Qmat.det (Pmat.eval l env)))
+
+(* ------------------------------------------------------------------ *)
+(* Bounded lattices (Theorem 3 / Lemma 3)                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lattice_count_points () =
+  let l = Lattice.make (Imat.identity 2) [| 2; 3 |] in
+  check "count" 12 (Lattice.count l);
+  check "points" 12 (List.length (Lattice.points l))
+
+let test_theorem3 () =
+  (* Lattice over Example 2's G with bounds (3, 2). *)
+  let l = Lattice.make m_ex2 [| 3; 2 |] in
+  (* t = 2*g1 + 1*g2 = (3,1): intersects. *)
+  checkb "inside" true (Lattice.intersects_translate l [| 3; 1 |]);
+  (* t = 4*g1 = (4,4): u1=4 > bound 3: disjoint. *)
+  checkb "out of bounds" false (Lattice.intersects_translate l [| 4; 4 |]);
+  (* t not in the lattice at all. *)
+  checkb "off lattice" false (Lattice.intersects_translate l [| 1; 0 |])
+
+let test_lemma3_exact_vs_brute () =
+  let l = Lattice.make m_ex2 [| 3; 2 |] in
+  let t = [| 3; 1 |] in
+  let pts = Lattice.points l in
+  let union_brute =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun p -> Hashtbl.replace tbl (Array.to_list p) ()) pts;
+    List.iter
+      (fun p -> Hashtbl.replace tbl (Array.to_list (Ivec.add p t)) ())
+      pts;
+    Hashtbl.length tbl
+  in
+  check "exact union matches brute force" union_brute
+    (Lattice.union_size_translate l t)
+
+let test_lemma3_disjoint () =
+  let l = Lattice.make (Imat.identity 2) [| 2; 2 |] in
+  check "disjoint doubles" 18 (Lattice.union_size_translate l [| 5; 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_mat n =
+  QCheck2.Gen.(
+    map
+      (fun entries -> Imat.make n n (fun i j -> List.nth entries ((i * n) + j)))
+      (list_size (return (n * n)) (int_range (-4) 4)))
+
+let prop_det_transpose =
+  QCheck2.Test.make ~name:"det(A) = det(A^t)" ~count:300 (gen_mat 3) (fun m ->
+      Imat.det m = Imat.det (Imat.transpose m))
+
+let prop_det_multiplicative =
+  QCheck2.Test.make ~name:"det(AB) = det(A)det(B)" ~count:300
+    QCheck2.Gen.(pair (gen_mat 3) (gen_mat 3))
+    (fun (a, b) -> Imat.det (Imat.mul a b) = Imat.det a * Imat.det b)
+
+let prop_det_qmat_agrees =
+  QCheck2.Test.make ~name:"Bareiss det = rational det" ~count:300 (gen_mat 3)
+    (fun m -> Rat.equal (Rat.of_int (Imat.det m)) (Qmat.det (Qmat.of_imat m)))
+
+let prop_hnf_invariants =
+  QCheck2.Test.make ~name:"HNF: h = u g, u unimodular" ~count:300 (gen_mat 3)
+    (fun g ->
+      let h, u = Hnf.row_hnf g in
+      Imat.is_unimodular u && Imat.equal h (Imat.mul u g))
+
+let prop_hnf_rank_preserved =
+  QCheck2.Test.make ~name:"HNF preserves rank" ~count:300 (gen_mat 3) (fun g ->
+      let h, _ = Hnf.row_hnf g in
+      Imat.rank h = Imat.rank g)
+
+let prop_solve_left_int_sound =
+  QCheck2.Test.make ~name:"solve_left_int returns a real solution" ~count:300
+    QCheck2.Gen.(pair (gen_mat 2) (pair (int_range (-6) 6) (int_range (-6) 6)))
+    (fun (g, (x0, x1)) ->
+      (* Build a solvable rhs, then check the solver's answer. *)
+      let b = Imat.mul_row [| x0; x1 |] g in
+      match Hnf.solve_left_int g b with
+      | None -> false
+      | Some x -> Ivec.equal (Imat.mul_row x g) b)
+
+let prop_snf_invariants =
+  QCheck2.Test.make ~name:"SNF: s = u a v, diagonal, divisibility" ~count:200
+    (gen_mat 3) (fun a ->
+      let s, u, v = Snf.smith a in
+      Imat.is_unimodular u && Imat.is_unimodular v
+      && Imat.equal s (Imat.mul (Imat.mul u a) v)
+      &&
+      let n = 3 in
+      let diag_ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && Imat.get s i j <> 0 then diag_ok := false
+        done
+      done;
+      let chain_ok = ref true in
+      for i = 0 to n - 2 do
+        let x = Imat.get s i i and y = Imat.get s (i + 1) (i + 1) in
+        if x < 0 || y < 0 then chain_ok := false;
+        if x <> 0 && y mod x <> 0 then chain_ok := false;
+        if x = 0 && y <> 0 then chain_ok := false
+      done;
+      !diag_ok && !chain_ok)
+
+let gen_nonsing_2 =
+  QCheck2.Gen.(
+    map
+      (fun (a, b, c, d) ->
+        let m = Imat.of_rows [ [ a; b ]; [ c; d ] ] in
+        if Imat.det m = 0 then Imat.of_rows [ [ a + 1; b ]; [ c; d + 1 ] ]
+        else m)
+      (quad (int_range (-3) 3) (int_range (-3) 3) (int_range (-3) 3)
+         (int_range (-3) 3)))
+
+let gen_nonsing_2 =
+  QCheck2.Gen.(
+    gen_nonsing_2 >>= fun m ->
+    if Imat.det m = 0 then return (Imat.identity 2) else return m)
+
+let prop_lemma3_union =
+  QCheck2.Test.make ~name:"Lemma 3 exact union = brute force" ~count:200
+    QCheck2.Gen.(
+      triple gen_nonsing_2
+        (pair (int_range 0 4) (int_range 0 4))
+        (pair (int_range (-5) 5) (int_range (-5) 5)))
+    (fun (g, (l0, l1), (t0, t1)) ->
+      let l = Lattice.make g [| l0; l1 |] in
+      let t = [| t0; t1 |] in
+      let pts = Lattice.points l in
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun p -> Hashtbl.replace tbl (Array.to_list p) ()) pts;
+      List.iter
+        (fun p -> Hashtbl.replace tbl (Array.to_list (Ivec.add p t)) ())
+        pts;
+      Hashtbl.length tbl = Lattice.union_size_translate l t)
+
+let prop_theorem3_brute =
+  QCheck2.Test.make ~name:"Theorem 3 intersection = brute force" ~count:200
+    QCheck2.Gen.(
+      triple gen_nonsing_2
+        (pair (int_range 0 4) (int_range 0 4))
+        (pair (int_range (-5) 5) (int_range (-5) 5)))
+    (fun (g, (l0, l1), (t0, t1)) ->
+      let l = Lattice.make g [| l0; l1 |] in
+      let t = [| t0; t1 |] in
+      let pts = Lattice.points l in
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun p -> Hashtbl.replace tbl (Array.to_list p) ()) pts;
+      let brute =
+        List.exists
+          (fun p -> Hashtbl.mem tbl (Array.to_list (Ivec.add p t)))
+          pts
+      in
+      brute = Lattice.intersects_translate l t)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_det_transpose;
+      prop_det_multiplicative;
+      prop_det_qmat_agrees;
+      prop_hnf_invariants;
+      prop_hnf_rank_preserved;
+      prop_solve_left_int_sound;
+      prop_snf_invariants;
+      prop_lemma3_union;
+      prop_theorem3_brute;
+      prop_pmat_det_matches_numeric;
+    ]
+
+let () =
+  Alcotest.run "matrixkit"
+    [
+      ( "imat",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "determinant" `Quick test_det;
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "unimodularity" `Quick test_unimodular;
+          Alcotest.test_case "replace_row" `Quick test_replace_row;
+          Alcotest.test_case "independent cols" `Quick test_independent_cols;
+          Alcotest.test_case "gcd of minors" `Quick test_gcd_minors;
+          Alcotest.test_case "zero columns" `Quick test_zero_cols;
+        ] );
+      ( "qmat",
+        [
+          Alcotest.test_case "inverse" `Quick test_qmat_inv;
+          Alcotest.test_case "determinant" `Quick test_qmat_det;
+          Alcotest.test_case "solve_left" `Quick test_solve_left;
+        ] );
+      ( "hnf",
+        [
+          Alcotest.test_case "shape" `Quick test_hnf_shape;
+          Alcotest.test_case "integer solve" `Quick test_solve_left_int;
+          Alcotest.test_case "onto / one-to-one" `Quick test_onto_one_to_one;
+          Alcotest.test_case "left nullspace" `Quick test_left_nullspace;
+        ] );
+      ( "snf",
+        [
+          Alcotest.test_case "classic example" `Quick test_snf;
+          Alcotest.test_case "divisibility" `Quick test_snf_divisibility;
+        ] );
+      ( "pmat",
+        [
+          Alcotest.test_case "generic determinant" `Quick
+            test_pmat_generic_det;
+          Alcotest.test_case "eval agrees with Qmat" `Quick
+            test_pmat_eval_matches_qmat;
+          Alcotest.test_case "mul and replace_row" `Quick
+            test_pmat_mul_replace;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "count/points" `Quick test_lattice_count_points;
+          Alcotest.test_case "theorem 3" `Quick test_theorem3;
+          Alcotest.test_case "lemma 3 vs brute" `Quick test_lemma3_exact_vs_brute;
+          Alcotest.test_case "lemma 3 disjoint" `Quick test_lemma3_disjoint;
+        ] );
+      ("properties", props);
+    ]

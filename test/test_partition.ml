@@ -1,0 +1,542 @@
+(* Tests for tiles, the cost model, the rectangular and parallelepiped
+   optimizers (Examples 2, 3, 8, 9, 10), code generation and data
+   placement. *)
+
+open Intmath
+open Matrixkit
+open Loopir
+open Partition
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Tile                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_tile_rect () =
+  let t = Tile.rect [| 4; 5 |] in
+  check "nesting" 2 (Tile.nesting t);
+  Alcotest.(check (array int)) "lambda" [| 3; 4 |] (Tile.lambda t);
+  Alcotest.check
+    (Alcotest.testable Rat.pp Rat.equal)
+    "volume" (Rat.of_int 20) (Tile.volume t);
+  check "iterations" 20 (List.length (Tile.iterations t));
+  checkb "contains origin" true (Tile.contains t [| 0; 0 |]);
+  checkb "half open" false (Tile.contains t [| 4; 0 |]);
+  Alcotest.(check (array int))
+    "tile coords" [| 1; -1 |]
+    (Tile.tile_coords t [| 5; -2 |])
+
+let test_tile_pped () =
+  let t = Tile.pped (Imat.of_rows [ [ 2; 0 ]; [ 1; 3 ] ]) in
+  Alcotest.check
+    (Alcotest.testable Rat.pp Rat.equal)
+    "volume" (Rat.of_int 6) (Tile.volume t);
+  check "iteration count = |det|" 6 (List.length (Tile.iterations t));
+  checkb "rejects singular" true
+    (try
+       ignore (Tile.pped (Imat.of_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_tile_pped_tiles_plane () =
+  (* The half-open tiles must partition the plane: every point belongs to
+     exactly the tile of its coordinates. *)
+  let t = Tile.pped (Imat.of_rows [ [ 2; 1 ]; [ -1; 2 ] ]) in
+  let count = ref 0 in
+  for x = -4 to 4 do
+    for y = -4 to 4 do
+      let c = Tile.tile_coords t [| x; y |] in
+      if Array.for_all (fun v -> v = 0) c then incr count
+    done
+  done;
+  (* |det| = 5: each tile holds exactly 5 lattice points. *)
+  check "half-open tile holds det points" 5 !count
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ex8 = Loopart.Programs.example8 ~n:60 ()
+let ex2 = Loopart.Programs.example2 ()
+
+let test_cost_classes () =
+  let cost = Cost.of_nest ex8 in
+  check "two classes (A and B)" 2 (List.length cost.Cost.classes);
+  Alcotest.(check string)
+    "objective polynomial" "2*x0*x1*x2 + 2*x1*x2 + 3*x0*x2 + 4*x0*x1"
+    (Mpoly.to_string cost.Cost.objective);
+  Alcotest.(check string)
+    "traffic polynomial" "2*x1*x2 + 3*x0*x2 + 4*x0*x1"
+    (Mpoly.to_string cost.Cost.total_traffic)
+
+let test_cost_misses_per_tile () =
+  let cost = Cost.of_nest ex2 in
+  check "column tile misses (paper: 104 + 100)" 204
+    (Cost.misses_per_tile cost (Tile.rect [| 100; 1 |]));
+  check "square tile misses (paper: 140 + 100)" 240
+    (Cost.misses_per_tile cost (Tile.rect [| 10; 10 |]));
+  check "column traffic" 4
+    (Cost.traffic_per_tile cost (Tile.rect [| 100; 1 |]))
+
+let test_cost_sync_weight () =
+  let mm = Loopart.Programs.matmul ~n:8 () in
+  let cost = Cost.of_nest mm in
+  let c_class =
+    List.find
+      (fun c -> c.Cost.cls.Footprint.Uniform.array_name = "C")
+      cost.Cost.classes
+  in
+  check "accumulate class weighted" Cost.sync_cost_factor
+    c_class.Cost.sync_weight
+
+let test_cost_line_adjusted () =
+  (* relax_inplace has identity G: the contiguous loop dim is j (last
+     data dimension).  Lines of 8 divide the j-dependence. *)
+  let cost = Cost.of_nest (Loopart.Programs.relax_inplace ~n:33 ~steps:1 ()) in
+  let plain = cost.Cost.objective in
+  let adjusted = Cost.line_adjusted_objective cost ~line_size:8 in
+  checkb "line_size 1 is identity" true
+    (Mpoly.equal (Cost.line_adjusted_objective cost ~line_size:1) plain);
+  (* At tile 16x16: plain counts elements, adjusted counts lines. *)
+  let at poly x = Mpoly.eval_float poly [| float_of_int x; 16.0 |] in
+  checkb "lines cheaper than elements" true (at adjusted 16 < at plain 16);
+  (* Wide lines make elongating along j cheaper than elongating along i:
+     adjusted cost at 8x32 beats 32x8. *)
+  let at2 poly (x, y) =
+    Mpoly.eval_float poly [| float_of_int x; float_of_int y |]
+  in
+  checkb "prefers contiguous elongation" true
+    (at2 adjusted (8, 32) < at2 adjusted (32, 8))
+
+(* ------------------------------------------------------------------ *)
+(* Rectangular optimizer                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_example8_ratio () =
+  let cost = Cost.of_nest ex8 in
+  (match Rectangular.aspect_ratio cost with
+  | None -> Alcotest.fail "closed form applies"
+  | Some cs ->
+      Alcotest.(check string) "2:3:4" "2, 3, 4"
+        (String.concat ", " (List.map Rat.to_string (Array.to_list cs))));
+  (* The continuous optimum also lands on 2:3:4. *)
+  let x =
+    Rectangular.continuous_optimum cost
+      ~volume:(60.0 *. 60.0 *. 60.0 /. 8.0)
+      ~extents:[| 60; 60; 60 |]
+  in
+  Alcotest.(check (float 0.05)) "x1/x0 = 3/2" 1.5 (x.(1) /. x.(0));
+  Alcotest.(check (float 0.05)) "x2/x0 = 2" 2.0 (x.(2) /. x.(0))
+
+let test_example2_partition () =
+  let cost = Cost.of_nest ex2 in
+  let r = Rectangular.optimize cost ~nprocs:100 in
+  Alcotest.(check (array int)) "column tiles win" [| 100; 1 |] r.Rectangular.sizes;
+  check "predicted misses 204" 204 r.Rectangular.predicted_misses_per_tile
+
+let test_example10_optimum () =
+  let cost = Cost.of_nest (Loopart.Programs.example10 ~n:60 ()) in
+  (* Objective (beyond the fixed volume terms): 2 x0 + 3 x1; with
+     x0 x1 = V the optimum satisfies 2 x0 = 3 x1. *)
+  let x =
+    Rectangular.continuous_optimum cost ~volume:360.0 ~extents:[| 60; 60 |]
+  in
+  Alcotest.(check (float 0.05))
+    "2(Li+1) = 3(Lj+1)" 1.0
+    (2.0 *. x.(0) /. (3.0 *. x.(1)))
+
+let test_example9_optimum () =
+  (* NOTE: the paper's text prints 4 L11 = 6 L22 here, but its own
+     Theorem 4 arithmetic (and exhaustive enumeration, see
+     EXPERIMENTS.md) gives traffic 4 x0 + 4 x1, i.e. square tiles. *)
+  let cost = Cost.of_nest (Loopart.Programs.example9 ~n:60 ()) in
+  let x =
+    Rectangular.continuous_optimum cost ~volume:360.0 ~extents:[| 60; 60 |]
+  in
+  Alcotest.(check (float 0.05)) "square optimum" 1.0 (x.(0) /. x.(1))
+
+let test_matmul_keeps_reduction_whole () =
+  (* The writer multiplier makes splitting the k (reduction) dimension
+     visibly expensive: the chosen grid must not split it. *)
+  let cost = Cost.of_nest (Loopart.Programs.matmul ~n:24 ()) in
+  let r = Rectangular.optimize cost ~nprocs:16 in
+  check "k unsplit" 1 r.Rectangular.grid.(2);
+  check "square blocks" r.Rectangular.sizes.(0) r.Rectangular.sizes.(1);
+  (* And the simulator confirms: no coherence at all. *)
+  let sched =
+    Codegen.make (Loopart.Programs.matmul ~n:24 ()) r.Rectangular.tile
+      ~nprocs:16
+  in
+  let sim = Machine.Sim.run sched Machine.Sim.default in
+  check "zero coherence" 0 sim.Machine.Sim.stats.Machine.Stats.coherence_misses
+
+let test_grid_feasibility () =
+  let cost = Cost.of_nest ex8 in
+  let r = Rectangular.optimize cost ~nprocs:8 in
+  check "grid covers processors" 8
+    (Array.fold_left ( * ) 1 r.Rectangular.grid);
+  Array.iteri
+    (fun k p ->
+      checkb "tile sizes cover extents" true
+        (p * r.Rectangular.sizes.(k) >= 60))
+    r.Rectangular.grid;
+  checkb "too many processors rejected" true
+    (try
+       ignore (Rectangular.optimize (Cost.of_nest ex2) ~nprocs:1_000_003);
+       false
+     with Invalid_argument _ -> true)
+
+let test_optimizer_beats_naive () =
+  (* The chosen tile should never be worse than trivial row/column
+     partitions. *)
+  List.iter
+    (fun (name, nest, nprocs) ->
+      let cost = Cost.of_nest nest in
+      let r = Rectangular.optimize cost ~nprocs in
+      let chosen = Cost.misses_per_tile cost r.Rectangular.tile in
+      let extents = Nest.extents nest in
+      let l = Array.length extents in
+      List.iter
+        (fun k ->
+          let sizes =
+            Array.mapi
+              (fun k' n ->
+                if k' = k then max 1 (Int_math.ceil_div n nprocs) else n)
+              extents
+          in
+          if
+            Array.for_all2
+              (fun s n -> s <= n)
+              sizes extents
+            && Array.fold_left ( * ) 1
+                 (Array.mapi
+                    (fun k' n -> Int_math.ceil_div n sizes.(k'))
+                    extents)
+               >= nprocs
+          then
+            checkb
+              (Printf.sprintf "%s: chosen <= slab along dim %d" name k)
+              true
+              (chosen <= Cost.misses_per_tile cost (Tile.rect sizes)))
+        (List.init l Fun.id))
+    [
+      ("example2", ex2, 100);
+      ("example8", ex8, 8);
+      ("example9", Loopart.Programs.example9 ~n:60 (), 36);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallelepiped optimizer                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_skewed_example3 () =
+  (* Example 3: parallelogram tiles along (1,3) beat rectangles. *)
+  let cost = Cost.of_nest (Loopart.Programs.example3 ()) in
+  match Skewed.optimize cost ~nprocs:10 with
+  | None -> Alcotest.fail "engine applies to example 3"
+  | Some r ->
+      checkb "improves on rectangular" true r.Skewed.improves_on_rect;
+      checkb "continuous cost below rect cost" true
+        (r.Skewed.continuous_cost < r.Skewed.rect_cost)
+
+let test_skewed_unsupported () =
+  (* matmul has projection references: engine must decline. *)
+  let cost = Cost.of_nest (Loopart.Programs.matmul ~n:8 ()) in
+  checkb "returns None" true (Skewed.optimize cost ~nprocs:4 = None)
+
+let test_skewed_volume_constraint () =
+  let cost = Cost.of_nest (Loopart.Programs.example3 ~n:40 ()) in
+  match Skewed.optimize cost ~nprocs:8 with
+  | None -> Alcotest.fail "engine applies"
+  | Some r ->
+      let v = Rat.to_float (Tile.volume r.Skewed.tile) in
+      let target = 40.0 *. 40.0 /. 8.0 in
+      checkb "volume within 25% of target" true
+        (abs_float (v -. target) /. target < 0.25)
+
+(* ------------------------------------------------------------------ *)
+(* Codegen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_codegen_rect () =
+  let sched = Codegen.make ex2 (Tile.rect [| 100; 1 |]) ~nprocs:100 in
+  check "tiles" 100 (Codegen.num_tiles sched);
+  let per = Codegen.iterations_by_proc sched in
+  check "procs" 100 (Array.length per);
+  Array.iter (fun l -> check "balanced" 100 (List.length l)) per;
+  (* Every iteration appears exactly once. *)
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 per in
+  check "covers space" (Nest.iterations ex2) total;
+  let mn, mx, imb = Codegen.load_balance sched in
+  check "min" 100 mn;
+  check "max" 100 mx;
+  Alcotest.(check (float 1e-9)) "imbalance" 1.0 imb
+
+let test_codegen_ranges () =
+  let sched = Codegen.make ex2 (Tile.rect [| 30; 40 |]) ~nprocs:12 in
+  let ranges = Codegen.rect_tile_ranges sched in
+  check "4x3 tiles" 12 (List.length ranges);
+  (* Ranges are clipped to the space. *)
+  List.iter
+    (fun r ->
+      Array.iteri
+        (fun k (lo, hi) ->
+          let blo, bhi = (Nest.bounds ex2).(k) in
+          checkb "clipped" true (lo >= blo && hi <= bhi && lo <= hi))
+        r)
+    ranges
+
+let test_codegen_pped_partition () =
+  let nest =
+    let open Dsl in
+    let i = var 0 and j = var 1 in
+    nest ~name:"small" [ doall "i" 0 9; doall "j" 0 9 ]
+      [ write "A" [ i; j ]; read "B" [ i + j; i - j ] ]
+  in
+  let sched =
+    Codegen.make nest (Tile.pped (Imat.of_rows [ [ 5; 0 ]; [ 2; 5 ] ])) ~nprocs:4
+  in
+  let per = Codegen.iterations_by_proc sched in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 per in
+  check "pped covers space exactly once" 100 total
+
+let test_emit_pseudocode () =
+  let sched = Codegen.make ex2 (Tile.rect [| 100; 1 |]) ~nprocs:100 in
+  let s = Codegen.emit_pseudocode sched in
+  checkb "mentions SPMD" true (String.length s > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Data partitioning                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_aligned_placement () =
+  let cost = Cost.of_nest ex2 in
+  let sched = Codegen.make ex2 (Tile.rect [| 100; 1 |]) ~nprocs:100 in
+  let pl = Data_partition.aligned sched cost in
+  let own = Codegen.owner sched in
+  (* A[i,j] written by iteration (i,j): its home must be the owner. *)
+  let ok = ref true in
+  for i = 101 to 140 do
+    for j = 1 to 40 do
+      if pl.Data_partition.home "A" [| i; j |] <> own [| i; j |] then
+        ok := false
+    done
+  done;
+  checkb "A aligned with its writer" true !ok
+
+let test_data_objective () =
+  (* Symmetric offsets: a+ = max-min spread, so data and loop ratios
+     coincide. *)
+  let cost = Cost.of_nest (Loopart.Programs.relax_inplace ~n:33 ~steps:1 ()) in
+  let loop_ratio =
+    Rectangular.continuous_optimum cost ~volume:256.0 ~extents:[| 32; 32 |]
+  in
+  let data_ratio = Data_partition.optimal_data_ratio cost ~nprocs:4 in
+  Alcotest.(check (float 0.05))
+    "ratios agree for symmetric stencils"
+    (loop_ratio.(0) /. loop_ratio.(1))
+    (data_ratio.(0) /. data_ratio.(1));
+  (* Asymmetric many-reference class: a+ exceeds the max-min spread, so
+     the data objective dominates the loop objective pointwise. *)
+  let nest =
+    let open Dsl in
+    let i = var 0 and j = var 1 in
+    nest ~name:"asym"
+      [ doall "i" 1 32; doall "j" 1 32 ]
+      [
+        write "A" [ i; j ];
+        read "A" [ i - int 1; j ];
+        read "A" [ i + int 1; j ];
+        read "A" [ i + int 2; j ];
+        read "A" [ i + int 3; j ];
+      ]
+  in
+  let cost2 = Cost.of_nest nest in
+  let dp = Data_partition.data_objective cost2 in
+  let at poly = Mpoly.eval_float poly [| 8.0; 8.0 |] in
+  checkb "a+ objective >= max-min objective" true
+    (at dp >= at cost2.Cost.objective)
+
+let test_round_robin_and_block () =
+  let pl = Data_partition.round_robin ~nprocs:7 in
+  let h = pl.Data_partition.home "A" [| 3; 4 |] in
+  checkb "stable" true (h = pl.Data_partition.home "A" [| 3; 4 |]);
+  checkb "in range" true (h >= 0 && h < 7);
+  let br = Data_partition.block_row ~nprocs:4 ~rows:100 in
+  check "row 0 -> proc 0" 0 (br.Data_partition.home "A" [| 0; 5 |]);
+  check "row 99 -> proc 3" 3 (br.Data_partition.home "A" [| 99; 5 |])
+
+(* ------------------------------------------------------------------ *)
+(* Capacity blocking (Section 2.2)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_capacity_subtile () =
+  let cost = Cost.of_nest (Loopart.Programs.matmul ~n:24 ()) in
+  let tile = Tile.rect [| 6; 6; 24 |] in
+  checkb "does not fit in 128" false (Capacity.fits cost tile ~capacity:128);
+  let sub = Capacity.subtile cost tile ~capacity:128 in
+  checkb "subtile fits" true (Capacity.fits cost sub ~capacity:128);
+  checkb "already-fitting tile unchanged" true
+    (Tile.equal tile (Capacity.subtile cost tile ~capacity:10_000));
+  checkb "impossible capacity rejected" true
+    (try
+       ignore (Capacity.subtile cost tile ~capacity:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_capacity_blocked_order () =
+  let nest = Loopart.Programs.matmul ~n:12 () in
+  let cost = Cost.of_nest nest in
+  let tile = (Rectangular.optimize cost ~nprocs:4).Rectangular.tile in
+  let sched = Codegen.make nest tile ~nprocs:4 in
+  let sub = Capacity.subtile cost tile ~capacity:64 in
+  let blocked = Capacity.blocked_iterations sched ~subtile:sub in
+  (* Same iterations, different order. *)
+  let plain = Codegen.iterations_by_proc sched in
+  Array.iteri
+    (fun p l ->
+      check "same count" (List.length plain.(p)) (List.length l);
+      checkb "same set" true
+        (List.sort compare (List.map Array.to_list l)
+        = List.sort compare (List.map Array.to_list plain.(p))))
+    blocked;
+  (* Blocking reduces replacement misses on a small cache. *)
+  let run per_proc =
+    (Machine.Sim.run_assignment nest ~per_proc
+       {
+         Machine.Sim.default with
+         Machine.Sim.geometry = Machine.Cache.Finite { sets = 16; ways = 4 };
+       })
+      .Machine.Sim.stats.Machine.Stats.replacement_misses
+  in
+  checkb "blocked replaces less" true (run blocked <= run plain)
+
+(* ------------------------------------------------------------------ *)
+(* Run-time scheduling baselines                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheduling_coverage () =
+  let nest = Loopart.Programs.relax_inplace ~n:17 ~steps:1 () in
+  let n_iters = Nest.iterations nest in
+  List.iter
+    (fun (name, a) ->
+      check (name ^ " covers the space") n_iters (Scheduling.total a);
+      check (name ^ " uses 4 procs") 4 (Array.length a))
+    [
+      ("cyclic", Scheduling.cyclic nest ~nprocs:4);
+      ("block-cyclic", Scheduling.block_cyclic nest ~nprocs:4 ~chunk:5);
+      ("gss", Scheduling.guided_self_scheduling nest ~nprocs:4);
+    ]
+
+let test_scheduling_cyclic_balance () =
+  let nest = Loopart.Programs.relax_inplace ~n:17 ~steps:1 () in
+  let a = Scheduling.cyclic nest ~nprocs:4 in
+  check "cyclic is perfectly balanced" 64 (Scheduling.max_load a)
+
+let test_scheduling_gss_decreasing () =
+  (* GSS chunk sizes decrease: first grab is ceil(R/P). *)
+  let nest = Loopart.Programs.relax_inplace ~n:17 ~steps:1 () in
+  let a = Scheduling.guided_self_scheduling nest ~nprocs:4 in
+  (* 256 iterations: first chunk 64 goes to proc 0; its next grab is much
+     smaller, so proc 0 holds more than a fair share overall but not all. *)
+  let load0 = List.length a.(0) in
+  checkb "first processor gets the big first chunk" true (load0 >= 64);
+  checkb "but not everything" true (load0 < 256)
+
+let test_scheduling_locality_ordering () =
+  (* Tiles beat GSS beats cyclic on total footprint for a stencil. *)
+  let nest = Loopart.Programs.relax_inplace ~n:33 ~steps:2 () in
+  let cost = Cost.of_nest nest in
+  let tiled =
+    Scheduling.of_schedule
+      (Codegen.make nest (Rectangular.optimize cost ~nprocs:4).Rectangular.tile
+         ~nprocs:4)
+  in
+  let footprint a =
+    let r = Machine.Sim.run_assignment nest ~per_proc:a Machine.Sim.default in
+    Array.fold_left ( + ) 0 (Machine.Sim.footprints r)
+  in
+  let f_tiled = footprint tiled in
+  let f_gss = footprint (Scheduling.guided_self_scheduling nest ~nprocs:4) in
+  let f_cyc = footprint (Scheduling.cyclic nest ~nprocs:4) in
+  checkb "tiles <= gss" true (f_tiled <= f_gss);
+  checkb "gss < cyclic" true (f_gss < f_cyc)
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "tile",
+        [
+          Alcotest.test_case "rect" `Quick test_tile_rect;
+          Alcotest.test_case "pped" `Quick test_tile_pped;
+          Alcotest.test_case "pped tiles the plane" `Quick
+            test_tile_pped_tiles_plane;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "classes and polynomials" `Quick
+            test_cost_classes;
+          Alcotest.test_case "misses per tile (example 2)" `Quick
+            test_cost_misses_per_tile;
+          Alcotest.test_case "sync weighting" `Quick test_cost_sync_weight;
+          Alcotest.test_case "line-adjusted objective" `Quick
+            test_cost_line_adjusted;
+        ] );
+      ( "rectangular",
+        [
+          Alcotest.test_case "example 8 ratio 2:3:4" `Quick
+            test_example8_ratio;
+          Alcotest.test_case "example 2 partition" `Quick
+            test_example2_partition;
+          Alcotest.test_case "example 10 optimum" `Quick
+            test_example10_optimum;
+          Alcotest.test_case "example 9 optimum" `Quick test_example9_optimum;
+          Alcotest.test_case "matmul reduction kept whole" `Quick
+            test_matmul_keeps_reduction_whole;
+          Alcotest.test_case "grid feasibility" `Quick test_grid_feasibility;
+          Alcotest.test_case "beats naive slabs" `Quick
+            test_optimizer_beats_naive;
+        ] );
+      ( "skewed",
+        [
+          Alcotest.test_case "example 3 parallelogram" `Quick
+            test_skewed_example3;
+          Alcotest.test_case "declines projections" `Quick
+            test_skewed_unsupported;
+          Alcotest.test_case "volume constraint" `Quick
+            test_skewed_volume_constraint;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "rect schedule" `Quick test_codegen_rect;
+          Alcotest.test_case "tile ranges" `Quick test_codegen_ranges;
+          Alcotest.test_case "pped schedule" `Quick
+            test_codegen_pped_partition;
+          Alcotest.test_case "pseudocode" `Quick test_emit_pseudocode;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "subtile" `Quick test_capacity_subtile;
+          Alcotest.test_case "blocked order" `Quick
+            test_capacity_blocked_order;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "coverage" `Quick test_scheduling_coverage;
+          Alcotest.test_case "cyclic balance" `Quick
+            test_scheduling_cyclic_balance;
+          Alcotest.test_case "gss chunks" `Quick test_scheduling_gss_decreasing;
+          Alcotest.test_case "locality ordering" `Quick
+            test_scheduling_locality_ordering;
+        ] );
+      ( "data placement",
+        [
+          Alcotest.test_case "aligned" `Quick test_aligned_placement;
+          Alcotest.test_case "data objective (footnote 2)" `Quick
+            test_data_objective;
+          Alcotest.test_case "round robin / block row" `Quick
+            test_round_robin_and_block;
+        ] );
+    ]

@@ -725,6 +725,65 @@ let e19 () =
       shrinks, exactly as Section 2.2 prescribes)@."
 
 (* ------------------------------------------------------------------ *)
+(* E20: measured execution on OCaml 5 domains - the machine run that   *)
+(* Section 4 deferred to Alewife hardware                              *)
+(* ------------------------------------------------------------------ *)
+
+let e20 () =
+  header "E20"
+    "Measured execution on OCaml 5 domains (the deferred Section 4 run)";
+  let open Loopart in
+  let exec ?steps ~policy nest nprocs =
+    let a = Driver.analyze ~nprocs nest in
+    Driver.execute
+      ~config:{ Driver.default_exec_config with policy; repeats = 2; steps }
+      a
+  in
+  let workloads =
+    [
+      ("example2", Programs.example2 (), None);
+      ("stencil5", Programs.stencil5 ~n:65 (), Some 2);
+      ("matmul", Programs.matmul ~n:24 (), None);
+    ]
+  in
+  pf "optimized tile at P in {1,2,4,8}: measured vs predicted footprint@.";
+  row4 "nest / P" "wall ms" "max footprint" "Thm 2/4 predicts";
+  List.iter
+    (fun (name, nest, steps) ->
+      List.iter
+        (fun p ->
+          let r = exec ?steps ~policy:Driver.Tiled nest p in
+          row4
+            (Printf.sprintf "%s / %d" name p)
+            (Printf.sprintf "%.2f" (1e3 *. r.Runtime.Measure.wall_seconds))
+            (soi (Runtime.Measure.max_footprint r))
+            (match r.Runtime.Measure.predicted_per_domain with
+            | Some v -> soi v
+            | None -> "-"))
+        [ 1; 2; 4; 8 ])
+    workloads;
+  pf "@.stencil5 at P = 8: compile-time tiles vs run-time schedulers@.";
+  row4 "policy" "wall ms" "max footprint" "distinct total";
+  let nest = Programs.stencil5 ~n:65 () in
+  let footprint_of policy =
+    let r = exec ~steps:2 ~policy nest 8 in
+    row4 r.Runtime.Measure.policy
+      (Printf.sprintf "%.2f" (1e3 *. r.Runtime.Measure.wall_seconds))
+      (soi (Runtime.Measure.max_footprint r))
+      (soi r.Runtime.Measure.distinct_total);
+    Runtime.Measure.max_footprint r
+  in
+  let tiled = footprint_of Driver.Tiled in
+  let cyclic = footprint_of Driver.Cyclic in
+  ignore (footprint_of (Driver.Block_cyclic 8));
+  ignore (footprint_of Driver.Guided);
+  ignore (footprint_of (Driver.Work_steal 8));
+  pf "tiled max footprint %d vs cyclic %d - tiled smaller: %b@." tiled cyclic
+    (tiled < cyclic);
+  pf "(run-time self-scheduling balances load but touches nearly the whole@.";
+  pf " grid per processor - the introduction's case for compile-time tiles)@."
+
+(* ------------------------------------------------------------------ *)
 (* E13: Bechamel timings of the analysis itself                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -803,6 +862,7 @@ let experiments =
     ("E17", e17);
     ("E18", e18);
     ("E19", e19);
+    ("E20", e20);
   ]
 
 let () =

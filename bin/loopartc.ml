@@ -15,13 +15,14 @@ let load source =
   match Loopart.Programs.find source with
   | Some nest -> nest
   | None ->
-      if Sys.file_exists source then begin
+      if Sys.file_exists source then
         let ic = open_in source in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        Loopir.Parse.nest_of_string ~name:(Filename.basename source) s
-      end
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            Loopir.Parse.nest_of_string ~name:(Filename.basename source) s)
       else
         raise
           (Loopir.Parse.Parse_error
@@ -50,10 +51,35 @@ let wrap f = try Ok (f ()) with
   | Invalid_argument msg -> Error (`Msg msg)
 
 let list_cmd =
+  let array_summary nest =
+    (* e.g. "A 1w, B 2r": per array, how many writes/accumulates/reads
+       the body makes - enough to pick a workload without show-ing it. *)
+    String.concat ", "
+      (List.map
+         (fun a ->
+           let refs = Loopir.Nest.references_to nest a in
+           let count k =
+             List.length
+               (List.filter
+                  (fun (r : Loopir.Reference.t) -> r.Loopir.Reference.kind = k)
+                  refs)
+           in
+           let part n suffix =
+             if n = 0 then "" else string_of_int n ^ suffix
+           in
+           Printf.sprintf "%s %s" a
+             (String.concat ""
+                [
+                  part (count Loopir.Reference.Write) "w";
+                  part (count Loopir.Reference.Accumulate) "a";
+                  part (count Loopir.Reference.Read) "r";
+                ]))
+         (Loopir.Nest.arrays nest))
+  in
   let run () =
     List.iter
       (fun (name, nest) ->
-        Format.printf "%-18s %d-deep doall over %s iterations%s@." name
+        Format.printf "%-18s %d-deep doall over %s iterations%s; %s@." name
           (Loopir.Nest.nesting nest)
           (String.concat "x"
              (List.map string_of_int
@@ -62,11 +88,16 @@ let list_cmd =
           | Some s ->
               Printf.sprintf " (doseq %s: %d steps)" s.Loopir.Nest.var
                 (s.Loopir.Nest.upper - s.Loopir.Nest.lower + 1)
-          | None -> ""))
+          | None -> "")
+          (array_summary nest))
       Loopart.Programs.all;
     Ok ()
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the built-in program gallery")
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List the built-in program gallery with each program's loop depth \
+          and per-array read/write summary")
     Term.(term_result (const run $ const ()))
 
 let show_cmd =
@@ -130,6 +161,102 @@ let codegen_cmd =
   Cmd.v
     (Cmd.info "codegen" ~doc:"Print the generated SPMD loop structure")
     Term.(term_result (const run $ source_arg $ nprocs_arg))
+
+let run_cmd =
+  let policy_arg =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "tiled" ] -> Ok Loopart.Driver.Tiled
+      | [ "cyclic" ] -> Ok Loopart.Driver.Cyclic
+      | [ "gss" ] | [ "guided" ] -> Ok Loopart.Driver.Guided
+      | [ "block"; c ] -> (
+          match int_of_string_opt c with
+          | Some c when c >= 1 -> Ok (Loopart.Driver.Block_cyclic c)
+          | Some _ | None -> Error (`Msg "block:N needs N >= 1"))
+      | [ "steal" ] -> Ok (Loopart.Driver.Work_steal 4)
+      | [ "steal"; c ] -> (
+          match int_of_string_opt c with
+          | Some c when c >= 1 -> Ok (Loopart.Driver.Work_steal c)
+          | Some _ | None -> Error (`Msg "steal:N needs N >= 1"))
+      | _ ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown policy %S (tiled | cyclic | block:N | gss | \
+                  steal[:N])"
+                 s))
+    in
+    let print ppf p =
+      Format.pp_print_string ppf
+        (match p with
+        | Loopart.Driver.Tiled -> "tiled"
+        | Loopart.Driver.Cyclic -> "cyclic"
+        | Loopart.Driver.Block_cyclic c -> Printf.sprintf "block:%d" c
+        | Loopart.Driver.Guided -> "gss"
+        | Loopart.Driver.Work_steal c -> Printf.sprintf "steal:%d" c)
+    in
+    let doc =
+      "Execution policy: $(b,tiled) (the compile-time partition), \
+       $(b,cyclic), $(b,block:N), $(b,gss) (run-time self-scheduling over a \
+       shared counter), or $(b,steal[:N]) (tiled queues with work \
+       stealing)."
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Loopart.Driver.Tiled
+      & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let repeats_arg =
+    let doc = "Timed repetitions; the minimum wall-clock is reported." in
+    Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N" ~doc)
+  in
+  let steps_arg =
+    let doc = "Override the outer sequential (doseq) trip count." in
+    Arg.(value & opt (some int) None & info [ "steps" ] ~docv:"N" ~doc)
+  in
+  let bigarray_arg =
+    let doc = "Keep operands in a Bigarray instead of a float array." in
+    Arg.(value & flag & info [ "bigarray" ] ~doc)
+  in
+  let validate_arg =
+    let doc =
+      "Also validate: write-race freedom, runtime-vs-simulator footprint \
+       agreement, and value determinism."
+    in
+    Arg.(value & flag & info [ "validate" ] ~doc)
+  in
+  let run source nprocs skewed policy repeats steps bigarray validate =
+    wrap (fun () ->
+        let nest = load source in
+        let a = Loopart.Driver.analyze ~try_skewed:skewed ~nprocs nest in
+        let tile = Loopart.Driver.best_tile a in
+        Format.printf "partition: %a on %d domains@." Partition.Tile.pp tile
+          nprocs;
+        let config =
+          {
+            Loopart.Driver.default_exec_config with
+            Loopart.Driver.policy;
+            repeats;
+            steps;
+            bigarray;
+          }
+        in
+        let report = Loopart.Driver.execute ~config ~tile a in
+        Format.printf "%a@." Runtime.Measure.pp_report report;
+        if validate then
+          Format.printf "%a@." Runtime.Validate.pp
+            (Loopart.Driver.validate ~tile a))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute the partitioned nest for real on OCaml domains and report \
+          per-domain time, iterations and measured footprints against the \
+          model's prediction")
+    Term.(
+      term_result
+        (const run $ source_arg $ nprocs_arg $ skewed_arg $ policy_arg
+       $ repeats_arg $ steps_arg $ bigarray_arg $ validate_arg))
 
 let evaluate_cmd =
   let run source nprocs =
@@ -243,6 +370,6 @@ let main =
      multiprocessors (Agarwal, Kranz & Natarajan, ICPP 1993)"
   in
   Cmd.group (Cmd.info "loopartc" ~version:"1.0.0" ~doc)
-    [ list_cmd; show_cmd; analyze_cmd; simulate_cmd; codegen_cmd; evaluate_cmd; sweep_cmd ]
+    [ list_cmd; show_cmd; analyze_cmd; simulate_cmd; run_cmd; codegen_cmd; evaluate_cmd; sweep_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -32,6 +32,92 @@ let schedule ?tile a =
 let simulate ?tile ?(config = Sim.default) a =
   Sim.run (schedule ?tile a) config
 
+type exec_policy =
+  | Tiled
+  | Cyclic
+  | Block_cyclic of int
+  | Guided
+  | Work_steal of int
+
+type exec_config = {
+  policy : exec_policy;
+  repeats : int;
+  steps : int option;
+  footprint : Runtime.Measure.mode;
+  bigarray : bool;
+}
+
+let default_exec_config =
+  {
+    policy = Tiled;
+    repeats = 3;
+    steps = None;
+    footprint = Runtime.Measure.Auto;
+    bigarray = false;
+  }
+
+let policy_name = function
+  | Tiled -> "compile-time tiles"
+  | Cyclic -> "cyclic self-scheduling"
+  | Block_cyclic c -> Printf.sprintf "block-cyclic self-scheduling (chunk %d)" c
+  | Guided -> "guided self-scheduling"
+  | Work_steal c -> Printf.sprintf "tiled + work stealing (chunk %d)" c
+
+(* All iterations in lexicographic order: the stream the run-time
+   schedulers grab chunks from. *)
+let lex_points nest = Array.of_list (Scheduling.cyclic nest ~nprocs:1).(0)
+
+let execute ?(config = default_exec_config) ?tile a =
+  let nest = a.nest in
+  let sched = schedule ?tile a in
+  let work, predicted =
+    match config.policy with
+    | Tiled ->
+        let per_tile = Cost.misses_per_tile a.cost sched.Codegen.tile in
+        let tiles_per_proc =
+          Intmath.Int_math.ceil_div (Codegen.num_tiles sched) a.nprocs
+        in
+        ( Runtime.Exec.static_of_assignment (Scheduling.of_schedule sched),
+          Some (per_tile * tiles_per_proc) )
+    | Work_steal chunk ->
+        ( Runtime.Exec.queues_of_assignment
+            (Scheduling.of_schedule sched)
+            ~chunk,
+          None )
+    | Cyclic ->
+        (Runtime.Exec.Dynamic
+           { points = lex_points nest; chunk = (fun ~remaining:_ -> 1) },
+         None)
+    | Block_cyclic chunk ->
+        if chunk < 1 then invalid_arg "Driver.execute: chunk < 1";
+        (Runtime.Exec.Dynamic
+           { points = lex_points nest; chunk = (fun ~remaining:_ -> chunk) },
+         None)
+    | Guided ->
+        (Runtime.Exec.Dynamic
+           {
+             points = lex_points nest;
+             chunk =
+               (fun ~remaining ->
+                 Intmath.Int_math.ceil_div remaining a.nprocs);
+           },
+         None)
+  in
+  let compiled = Runtime.Exec.compile ~bigarray:config.bigarray nest in
+  let steps = Runtime.Exec.steps_of_nest ?override:config.steps nest in
+  let raw =
+    Runtime.Pool.with_pool a.nprocs (fun pool ->
+        Runtime.Exec.run pool compiled work ~steps ~repeats:config.repeats
+          ~mode:config.footprint)
+  in
+  Runtime.Measure.report ~name:nest.Nest.name
+    ~policy:(policy_name config.policy)
+    ~steps ~repeats:config.repeats
+    ~total_elements:(Runtime.Exec.total_elements compiled)
+    ?predicted_per_domain:predicted raw
+
+let validate ?tile a = Runtime.Validate.check_schedule (schedule ?tile a)
+
 let simulate_aligned ?tile ?(geometry = Cache.Infinite) a =
   let sched = schedule ?tile a in
   let placement = Data_partition.aligned sched a.cost in

@@ -39,6 +39,43 @@ val simulate_aligned :
 (** Distributed-memory run: 2-D mesh with loop-tile-aligned data
     placement (the paper's Section 4 configuration). *)
 
+(** {2 Real execution on OCaml 5 domains}
+
+    The measurement the paper's Section 4 deferred to the Alewife
+    machine: run the partitioned nest for real, on [nprocs] domains over
+    shared operands, and measure what the model predicts. *)
+
+type exec_policy =
+  | Tiled  (** the compile-time partition of {!schedule} *)
+  | Cyclic  (** run-time self-scheduling, chunk 1 *)
+  | Block_cyclic of int  (** run-time self-scheduling, fixed chunk *)
+  | Guided  (** guided self-scheduling (the paper's reference [1]) *)
+  | Work_steal of int
+      (** tiled queues drained by their owners with back-stealing *)
+
+type exec_config = {
+  policy : exec_policy;
+  repeats : int;  (** timed runs; minimum is reported *)
+  steps : int option;  (** override the outer [Doseq] trip count *)
+  footprint : Runtime.Measure.mode;
+  bigarray : bool;  (** operands in a [Bigarray] instead of [float array] *)
+}
+
+val default_exec_config : exec_config
+(** [Tiled], 3 repeats, the nest's own step count, [Auto] footprints,
+    [float array] operands. *)
+
+val execute :
+  ?config:exec_config -> ?tile:Tile.t -> analysis -> Runtime.Measure.report
+(** Execute the nest on [analysis.nprocs] domains and measure per-domain
+    wall-clock, iterations and distinct-elements footprints, alongside
+    the Theorem 2/4 prediction when the policy is [Tiled]. *)
+
+val validate : ?tile:Tile.t -> analysis -> Runtime.Validate.verdict
+(** Run the tiled schedule through both {!Machine.Sim} and the runtime
+    and check write-race freedom, footprint agreement and value
+    determinism. *)
+
 val report : Format.formatter -> analysis -> unit
 (** Human-readable compiler report: classes, polynomials, chosen
     partition, baselines. *)

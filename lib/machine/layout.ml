@@ -78,6 +78,10 @@ let element_of t addr =
       in
       (name, Array.to_list coords)
 
+let frame t name =
+  let e = entry t name in
+  (e.base, Array.copy e.lo, Array.copy e.strides)
+
 let total_elements t = t.total
 
 let pp ppf t =

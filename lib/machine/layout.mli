@@ -27,6 +27,12 @@ val line : t -> line_size:int -> string -> Ivec.t -> int
 val element_of : t -> int -> string * int list
 (** Reverse map of {!address}. *)
 
+val frame : t -> string -> int * int array * int array
+(** [(base, lo, strides)] of an array: the address of element [p] is
+    [base + sum_j (p.(j) - lo.(j)) * strides.(j)].  Exposed so an
+    execution backend can fold a whole affine reference [(G, a)] into a
+    single base-plus-dot-product index function. *)
+
 val total_elements : t -> int
 (** Footprint of the whole layout (sum of bounding-box volumes, plus
     alignment padding). *)

@@ -164,7 +164,13 @@ let load_balance s =
   let per = Array.map List.length (iterations_by_proc s) in
   let mn = Array.fold_left min max_int per in
   let mx = Array.fold_left max 0 per in
-  let avg =
-    float_of_int (Array.fold_left ( + ) 0 per) /. float_of_int s.nprocs
+  let total = Array.fold_left ( + ) 0 per in
+  (* More processors than iterations leaves some with nothing; the ratio
+     max/average is still well-defined (average > 0 whenever any
+     iteration exists), but guard the degenerate empty case so callers
+     never see NaN. *)
+  let imbalance =
+    if total = 0 then 1.0
+    else float_of_int mx /. (float_of_int total /. float_of_int s.nprocs)
   in
-  (mn, mx, float_of_int mx /. avg)
+  (mn, mx, imbalance)

@@ -46,4 +46,6 @@ val emit_pseudocode : schedule -> string
 
 val load_balance : schedule -> int * int * float
 (** [(min, max, imbalance)] iterations per processor, where imbalance is
-    [max /. average]. *)
+    [max /. average].  Never NaN: the degenerate no-iterations case
+    reports [1.0], and a processor count above the trip count simply
+    yields [min = 0] with the true ratio. *)

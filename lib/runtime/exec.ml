@@ -1,0 +1,343 @@
+open Loopir
+open Matrixkit
+open Machine
+
+type cref = { c : int; m : int array }
+(* Address of iteration [i] through the reference: [c + m . i]. *)
+
+type storage =
+  | Flat of float array
+  | Big of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type compiled = {
+  nest : Nest.t;
+  layout : Layout.t;
+  reads : cref array;
+  writes : (cref * bool (* accumulate *)) array;
+  bigarray : bool;
+}
+
+let compile_ref layout nesting (r : Reference.t) =
+  let base, lo, strides = Layout.frame layout r.Reference.array_name in
+  let g = Affine.g r.Reference.index in
+  let offset = Affine.offset r.Reference.index in
+  let d = Array.length strides in
+  let c = ref base in
+  for j = 0 to d - 1 do
+    c := !c + ((offset.(j) - lo.(j)) * strides.(j))
+  done;
+  let m =
+    Array.init nesting (fun k ->
+        let acc = ref 0 in
+        for j = 0 to d - 1 do
+          acc := !acc + (Imat.get g k j * strides.(j))
+        done;
+        !acc)
+  in
+  { c = !c; m }
+
+let compile ?(bigarray = false) nest =
+  let layout = Layout.of_nest nest in
+  let nesting = Nest.nesting nest in
+  let reads, writes =
+    List.partition_map
+      (fun (r : Reference.t) ->
+        let cr = compile_ref layout nesting r in
+        if Reference.is_write_like r then
+          Right (cr, r.Reference.kind = Reference.Accumulate)
+        else Left cr)
+      nest.Nest.body
+  in
+  {
+    nest;
+    layout;
+    reads = Array.of_list reads;
+    writes = Array.of_list writes;
+    bigarray;
+  }
+
+let nest c = c.nest
+let layout c = c.layout
+let total_elements c = Layout.total_elements c.layout
+
+let address c (r : Reference.t) =
+  let cr = compile_ref c.layout (Nest.nesting c.nest) r in
+  fun (i : Ivec.t) ->
+    let a = ref cr.c in
+    Array.iteri (fun k mk -> a := !a + (mk * i.(k))) cr.m;
+    !a
+
+(* Deterministic nonzero initial operand values so checksums and value
+   comparisons are meaningful from the first step. *)
+let init_value i = float_of_int ((i land 63) + 1) *. 0.125
+
+let alloc c =
+  let n = total_elements c in
+  if c.bigarray then begin
+    let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set a i (init_value i)
+    done;
+    Big a
+  end
+  else Flat (Array.init n init_value)
+
+let checksum = function
+  | Flat a -> Array.fold_left ( +. ) 0.0 a
+  | Big a ->
+      let acc = ref 0.0 in
+      for i = 0 to Bigarray.Array1.dim a - 1 do
+        acc := !acc +. Bigarray.Array1.unsafe_get a i
+      done;
+      !acc
+
+let to_float_array = function
+  | Flat a -> Array.copy a
+  | Big a -> Array.init (Bigarray.Array1.dim a) (Bigarray.Array1.unsafe_get a)
+
+let[@inline] addr (r : cref) (p : int array) =
+  let a = ref r.c in
+  let m = r.m in
+  for k = 0 to Array.length m - 1 do
+    a := !a + (Array.unsafe_get m k * Array.unsafe_get p k)
+  done;
+  !a
+
+(* The loop body at one iteration point: load every read, combine, then
+   store through every write-like reference. *)
+let[@inline] exec_flat c (data : float array) (p : int array) =
+  let acc = ref 0.0 in
+  let reads = c.reads in
+  for i = 0 to Array.length reads - 1 do
+    acc := !acc +. Array.unsafe_get data (addr (Array.unsafe_get reads i) p)
+  done;
+  let v = !acc +. 1.0 in
+  let writes = c.writes in
+  for i = 0 to Array.length writes - 1 do
+    let r, accumulate = Array.unsafe_get writes i in
+    let a = addr r p in
+    if accumulate then
+      Array.unsafe_set data a (Array.unsafe_get data a +. v)
+    else Array.unsafe_set data a v
+  done
+
+let[@inline] exec_big c data (p : int array) =
+  let acc = ref 0.0 in
+  let reads = c.reads in
+  for i = 0 to Array.length reads - 1 do
+    acc :=
+      !acc
+      +. Bigarray.Array1.unsafe_get data (addr (Array.unsafe_get reads i) p)
+  done;
+  let v = !acc +. 1.0 in
+  let writes = c.writes in
+  for i = 0 to Array.length writes - 1 do
+    let r, accumulate = Array.unsafe_get writes i in
+    let a = addr r p in
+    if accumulate then
+      Bigarray.Array1.unsafe_set data a (Bigarray.Array1.unsafe_get data a +. v)
+    else Bigarray.Array1.unsafe_set data a v
+  done
+
+let exec_point c storage =
+  match storage with
+  | Flat data -> fun p -> exec_flat c data p
+  | Big data -> fun p -> exec_big c data p
+
+(* The instrumented body additionally records every element address in
+   the domain's touched set. *)
+let observe_point c touched =
+  let note (r : cref) p = Measure.touch touched (addr r p) in
+  fun p ->
+    Array.iter (fun r -> note r p) c.reads;
+    Array.iter (fun (r, _) -> note r p) c.writes
+
+type work =
+  | Static of Ivec.t array array
+  | Dynamic of { points : Ivec.t array; chunk : remaining:int -> int }
+  | Steal of { queues : Ivec.t array array; chunk : int }
+
+let static_of_assignment (a : Partition.Scheduling.assignment) =
+  Static (Array.map Array.of_list a)
+
+let queues_of_assignment (a : Partition.Scheduling.assignment) ~chunk =
+  Steal { queues = Array.map Array.of_list a; chunk }
+
+let steps_of_nest ?override nest =
+  match override with
+  | Some n ->
+      if n < 1 then invalid_arg "Exec.steps_of_nest: steps < 1";
+      n
+  | None -> (
+      match nest.Nest.seq with
+      | Some l -> l.Nest.upper - l.Nest.lower + 1
+      | None -> 1)
+
+(* One execution of the whole nest ([steps] outer iterations) on the
+   pool.  [visit p point] performs the body; shared scheduling state is
+   reset by domain 0 between the two barriers that bracket each step. *)
+let one_pass pool work ~steps ~visit ~seconds ~iterations =
+  let counter =
+    match work with
+    | Dynamic { points; _ } -> Some (Pool.Counter.create ~total:(Array.length points))
+    | Static _ | Steal _ -> None
+  in
+  let deques =
+    match work with
+    | Steal { queues; _ } ->
+        Some (Pool.Deques.create ~lengths:(Array.map Array.length queues))
+    | Static _ | Dynamic _ -> None
+  in
+  Pool.run pool (fun p barrier ->
+      let sense = ref false in
+      let mine = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      for _step = 1 to steps do
+        (if p = 0 then
+           match counter, deques with
+           | Some c, _ -> Pool.Counter.reset c
+           | _, Some d -> Pool.Deques.reset d
+           | None, None -> ());
+        Pool.Barrier.wait barrier ~sense;
+        (match work with
+        | Static per_domain ->
+            let pts = per_domain.(p) in
+            for i = 0 to Array.length pts - 1 do
+              visit p (Array.unsafe_get pts i)
+            done;
+            mine := !mine + Array.length pts
+        | Dynamic { points; chunk } ->
+            let c = Option.get counter in
+            let continue = ref true in
+            while !continue do
+              match Pool.Counter.next c ~chunk with
+              | None -> continue := false
+              | Some (lo, hi) ->
+                  for i = lo to hi - 1 do
+                    visit p (Array.unsafe_get points i)
+                  done;
+                  mine := !mine + (hi - lo)
+            done
+        | Steal { queues; chunk } ->
+            let d = Option.get deques in
+            let continue = ref true in
+            while !continue do
+              match Pool.Deques.pop d ~me:p ~chunk with
+              | None -> continue := false
+              | Some (owner, lo, hi) ->
+                  let pts = queues.(owner) in
+                  for i = lo to hi - 1 do
+                    visit p (Array.unsafe_get pts i)
+                  done;
+                  mine := !mine + (hi - lo)
+            done);
+        Pool.Barrier.wait barrier ~sense
+      done;
+      seconds.(p) <- Unix.gettimeofday () -. t0;
+      iterations.(p) <- !mine)
+
+let check_work pool work =
+  let n = Pool.size pool in
+  match work with
+  | Static a when Array.length a <> n ->
+      invalid_arg
+        (Printf.sprintf "Exec: %d-domain pool given %d-way static work" n
+           (Array.length a))
+  | Steal { queues; _ } when Array.length queues <> n ->
+      invalid_arg
+        (Printf.sprintf "Exec: %d-domain pool given %d-way queues" n
+           (Array.length queues))
+  | Static _ | Dynamic _ | Steal _ -> ()
+
+type instrumented = {
+  footprints : int array;
+  iterations : int array;
+  distinct_total : int;
+  exact : bool;
+  checksum : float;
+  buffer : float array;
+}
+
+let measure pool c work ~steps ~mode =
+  check_work pool work;
+  let nprocs = Pool.size pool in
+  let universe = total_elements c in
+  let storage = alloc c in
+  let run_body = exec_point c storage in
+  let touched =
+    Array.init nprocs (fun _ -> Measure.touched mode ~universe)
+  in
+  let observers = Array.map (observe_point c) touched in
+  let seconds = Array.make nprocs 0.0 in
+  let iterations = Array.make nprocs 0 in
+  let visit p point =
+    observers.(p) point;
+    run_body point
+  in
+  one_pass pool work ~steps ~visit ~seconds ~iterations;
+  {
+    footprints = Array.map Measure.touched_count touched;
+    iterations;
+    distinct_total = Measure.union_count touched;
+    exact = Array.for_all Measure.is_exact touched;
+    checksum = checksum storage;
+    buffer = to_float_array storage;
+  }
+
+let time pool c work ~steps ~repeats =
+  check_work pool work;
+  if repeats < 1 then invalid_arg "Exec.time: repeats < 1";
+  let nprocs = Pool.size pool in
+  let best_wall = ref infinity in
+  let best_seconds = Array.make nprocs 0.0 in
+  let best_iterations = Array.make nprocs 0 in
+  for _rep = 1 to repeats do
+    let storage = alloc c in
+    let run_body = exec_point c storage in
+    let seconds = Array.make nprocs 0.0 in
+    let iterations = Array.make nprocs 0 in
+    let visit _p point = run_body point in
+    let t0 = Unix.gettimeofday () in
+    one_pass pool work ~steps ~visit ~seconds ~iterations;
+    let wall = Unix.gettimeofday () -. t0 in
+    ignore (Sys.opaque_identity (checksum storage));
+    if wall < !best_wall then begin
+      best_wall := wall;
+      Array.blit seconds 0 best_seconds 0 nprocs;
+      Array.blit iterations 0 best_iterations 0 nprocs
+    end
+  done;
+  (!best_wall, best_seconds, best_iterations)
+
+let run pool c work ~steps ~repeats ~mode =
+  let wall, seconds, iterations = time pool c work ~steps ~repeats in
+  let inst = measure pool c work ~steps ~mode in
+  {
+    Measure.wall_seconds = wall;
+    seconds;
+    iterations;
+    footprints = inst.footprints;
+    exact_footprints = inst.exact;
+    distinct_total = inst.distinct_total;
+    checksum = inst.checksum;
+  }
+
+let sequential c ~steps =
+  let storage = alloc c in
+  let run_body = exec_point c storage in
+  let bounds = Nest.bounds c.nest in
+  let n = Array.length bounds in
+  let point = Array.make n 0 in
+  let rec scan k =
+    if k = n then run_body point
+    else
+      let lo, hi = bounds.(k) in
+      for v = lo to hi do
+        point.(k) <- v;
+        scan (k + 1)
+      done
+  in
+  for _step = 1 to steps do
+    scan 0
+  done;
+  to_float_array storage

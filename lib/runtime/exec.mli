@@ -1,0 +1,92 @@
+(** The multicore loop-nest interpreter: executes partitioned [Doall]
+    nests over real shared operands on a {!Pool} of OCaml domains.
+
+    Each affine reference [(G, a)] is compiled once into a closed-form
+    row-major index function [c + m . i] via {!Machine.Layout.frame}, so
+    the per-iteration work is exactly the address arithmetic plus the
+    loads/stores the partitioned loop would perform on the real machine:
+    reads are summed, [Write] stores the sum, and [Accumulate] (the
+    paper's [l$] references) adds it in place.
+
+    A nest's optional [Doseq] loop (Figure 9) becomes real re-execution:
+    the pool's sense-reversing barrier separates the outer steps without
+    respawning domains, which is where steady-state coherence traffic
+    appears on actual hardware. *)
+
+open Loopir
+open Matrixkit
+
+type compiled
+
+val compile : ?bigarray:bool -> Nest.t -> compiled
+(** Build the layout and index functions.  With [bigarray] the operand
+    space is one [Bigarray.Array1] of float64 (off the OCaml heap, so
+    domains share it with no GC write barriers); the default is a plain
+    [float array]. *)
+
+val nest : compiled -> Nest.t
+val layout : compiled -> Machine.Layout.t
+val total_elements : compiled -> int
+
+val address : compiled -> Reference.t -> Ivec.t -> int
+(** The flat element address the compiled reference touches at an
+    iteration.  Partial application compiles the reference once, so
+    validation loops should apply it to the reference first. *)
+
+type work =
+  | Static of Ivec.t array array
+      (** per-domain iteration arrays, fixed at compile time (the
+          schedules of {!Partition.Codegen} / {!Partition.Scheduling}) *)
+  | Dynamic of { points : Ivec.t array; chunk : remaining:int -> int }
+      (** self-scheduling over the lexicographic iteration stream via a
+          shared {!Pool.Counter}: chunk [fun ~remaining:_ -> 1] is
+          cyclic, a constant is block-cyclic, [ceil remaining/P] is
+          guided self-scheduling *)
+  | Steal of { queues : Ivec.t array array; chunk : int }
+      (** per-domain queues (normally the tiled assignment) drained
+          front-first by their owners with back-stealing *)
+
+val static_of_assignment : Partition.Scheduling.assignment -> work
+val queues_of_assignment : Partition.Scheduling.assignment -> chunk:int -> work
+
+val steps_of_nest : ?override:int -> Nest.t -> int
+(** The outer sequential trip count: [override], else the nest's
+    [Doseq] extent, else 1. *)
+
+type instrumented = {
+  footprints : int array;  (** distinct elements touched per domain *)
+  iterations : int array;
+  distinct_total : int;
+  exact : bool;  (** footprints counted exactly (vs Bloom estimate) *)
+  checksum : float;
+  buffer : float array;  (** final operand values, for value checks *)
+}
+
+val measure :
+  Pool.t -> compiled -> work -> steps:int -> mode:Measure.mode -> instrumented
+(** One instrumented (untimed) execution on fresh operands. *)
+
+val time :
+  Pool.t ->
+  compiled ->
+  work ->
+  steps:int ->
+  repeats:int ->
+  float * float array * int array
+(** [(wall, per_domain_seconds, per_domain_iterations)] of the fastest
+    of [repeats] uninstrumented executions (minimum-of-N wall-clock). *)
+
+val run :
+  Pool.t ->
+  compiled ->
+  work ->
+  steps:int ->
+  repeats:int ->
+  mode:Measure.mode ->
+  Measure.raw
+(** {!time} + {!measure} combined into a {!Measure.raw}. *)
+
+val sequential : compiled -> steps:int -> float array
+(** Reference execution: every iteration in lexicographic order on the
+    calling domain, over fresh operands; returns the final buffer.  The
+    ground truth for {!Validate}'s determinism check. *)

@@ -1,0 +1,251 @@
+exception Aborted
+
+(* Spin with backoff: on an oversubscribed host (more domains than
+   cores) a pure spin waits out whole scheduling quanta, so after a
+   bounded number of relaxes we sleep and let the OS run the domains we
+   are waiting for. *)
+let backoff spins =
+  if spins < 512 then Domain.cpu_relax () else Unix.sleepf 0.000_05
+
+module Barrier = struct
+  type b = {
+    parties : int;
+    count : int Atomic.t;
+    phase : bool Atomic.t;
+    abort : bool Atomic.t;
+  }
+
+  let create parties =
+    {
+      parties;
+      count = Atomic.make parties;
+      phase = Atomic.make false;
+      abort = Atomic.make false;
+    }
+
+  let wait b ~sense =
+    let my = not !sense in
+    sense := my;
+    if Atomic.get b.abort then raise Aborted;
+    if Atomic.fetch_and_add b.count (-1) = 1 then begin
+      (* Last arrival: reset the count and flip the phase to release. *)
+      Atomic.set b.count b.parties;
+      Atomic.set b.phase my
+    end
+    else begin
+      let spins = ref 0 in
+      while Atomic.get b.phase <> my && not (Atomic.get b.abort) do
+        backoff !spins;
+        incr spins
+      done;
+      if Atomic.get b.phase <> my then raise Aborted
+    end
+end
+
+type job = int -> Barrier.b -> unit
+
+type t = {
+  n : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable epoch : int;
+  mutable job : (job * Barrier.b) option;
+  mutable remaining : int;
+  mutable stop : bool;
+  mutable first_exn : exn option;
+  mutable domains : unit Domain.t array;
+}
+
+let worker t p =
+  let my_epoch = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    while t.epoch = !my_epoch && not t.stop do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+    else begin
+      my_epoch := t.epoch;
+      let f, barrier = Option.get t.job in
+      Mutex.unlock t.mutex;
+      (try f p barrier with
+      | Aborted -> ()
+      | exn ->
+          (* Release siblings parked at the barrier, then record the
+             first real failure for [run] to re-raise. *)
+          Atomic.set barrier.Barrier.abort true;
+          Mutex.lock t.mutex;
+          if t.first_exn = None then t.first_exn <- Some exn;
+          Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: need at least one domain";
+  let t =
+    {
+      n;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      job = None;
+      remaining = 0;
+      stop = false;
+      first_exn = None;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init n (fun p -> Domain.spawn (fun () -> worker t p));
+  t
+
+let size t = t.n
+
+let run t f =
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.run: pool is shut down"
+  end;
+  t.job <- Some (f, Barrier.create t.n);
+  t.epoch <- t.epoch + 1;
+  t.remaining <- t.n;
+  t.first_exn <- None;
+  Condition.broadcast t.work;
+  while t.remaining > 0 do
+    Condition.wait t.finished t.mutex
+  done;
+  let exn = t.first_exn in
+  t.job <- None;
+  t.first_exn <- None;
+  Mutex.unlock t.mutex;
+  match exn with None -> () | Some e -> raise e
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains
+  end
+  else Mutex.unlock t.mutex
+
+let with_pool n f =
+  let t = create n in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+module Counter = struct
+  type c = { total : int; pos : int Atomic.t }
+
+  let create ~total =
+    if total < 0 then invalid_arg "Pool.Counter.create: total < 0";
+    { total; pos = Atomic.make 0 }
+
+  let rec next c ~chunk =
+    let pos = Atomic.get c.pos in
+    if pos >= c.total then None
+    else
+      let remaining = c.total - pos in
+      let k = min remaining (max 1 (chunk ~remaining)) in
+      if Atomic.compare_and_set c.pos pos (pos + k) then Some (pos, pos + k)
+      else next c ~chunk
+
+  let reset c = Atomic.set c.pos 0
+end
+
+module Deques = struct
+  type queue = {
+    length : int;
+    mutable head : int;  (** next index the owner pops *)
+    mutable tail : int;  (** one past the last pending index *)
+    lock : Mutex.t;
+  }
+
+  type d = queue array
+
+  let create ~lengths =
+    Array.map
+      (fun len ->
+        if len < 0 then invalid_arg "Pool.Deques.create: negative length";
+        { length = len; head = 0; tail = len; lock = Mutex.create () })
+      lengths
+
+  let reset d =
+    Array.iter
+      (fun q ->
+        Mutex.lock q.lock;
+        q.head <- 0;
+        q.tail <- q.length;
+        Mutex.unlock q.lock)
+      d
+
+  let take_front q chunk =
+    Mutex.lock q.lock;
+    let r =
+      if q.head >= q.tail then None
+      else begin
+        let lo = q.head in
+        let hi = min q.tail (lo + chunk) in
+        q.head <- hi;
+        Some (lo, hi)
+      end
+    in
+    Mutex.unlock q.lock;
+    r
+
+  let take_back q chunk =
+    Mutex.lock q.lock;
+    let r =
+      if q.head >= q.tail then None
+      else begin
+        let hi = q.tail in
+        let lo = max q.head (hi - chunk) in
+        q.tail <- lo;
+        Some (lo, hi)
+      end
+    in
+    Mutex.unlock q.lock;
+    r
+
+  let pop d ~me ~chunk =
+    if chunk < 1 then invalid_arg "Pool.Deques.pop: chunk < 1";
+    match take_front d.(me) chunk with
+    | Some (lo, hi) -> Some (me, lo, hi)
+    | None ->
+        (* Steal from the back of the fullest victim so chunks keep
+           coming off the far end of large queues. *)
+        let n = Array.length d in
+        let best = ref (-1) and best_load = ref 0 in
+        for i = 0 to n - 1 do
+          let q = d.(i) in
+          let load = q.tail - q.head in
+          if i <> me && load > !best_load then begin
+            best := i;
+            best_load := load
+          end
+        done;
+        if !best < 0 then None
+        else
+          (* The victim may drain between the scan and the steal; fall
+             back to any non-empty queue before giving up. *)
+          let rec attempt victim tried =
+            match take_back d.(victim) chunk with
+            | Some (lo, hi) -> Some (victim, lo, hi)
+            | None ->
+                let next = (victim + 1) mod n in
+                if tried >= n then None
+                else if next = me then attempt ((next + 1) mod n) (tried + 1)
+                else attempt next (tried + 1)
+          in
+          attempt !best 0
+end

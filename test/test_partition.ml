@@ -464,6 +464,45 @@ let test_scheduling_locality_ordering () =
   checkb "tiles <= gss" true (f_tiled <= f_gss);
   checkb "gss < cyclic" true (f_gss < f_cyc)
 
+(* Property: every run-time policy enumerates each iteration exactly
+   once - the right total AND no duplicates across processors. *)
+let prop_scheduling_exact_cover =
+  QCheck2.Test.make ~name:"run-time policies cover each iteration once"
+    ~count:40
+    QCheck2.Gen.(triple (int_range 6 20) (int_range 1 7) (int_range 1 9))
+    (fun (n, nprocs, chunk) ->
+      let nest = Loopart.Programs.relax_inplace ~n ~steps:1 () in
+      let exact_cover a =
+        let seen = Hashtbl.create 997 in
+        let dup = ref false in
+        Array.iter
+          (List.iter (fun i ->
+               let key = Array.to_list i in
+               if Hashtbl.mem seen key then dup := true
+               else Hashtbl.replace seen key ()))
+          a;
+        (not !dup)
+        && Hashtbl.length seen = Nest.iterations nest
+        && Scheduling.total a = Nest.iterations nest
+        && Array.length a = nprocs
+      in
+      exact_cover (Scheduling.cyclic nest ~nprocs)
+      && exact_cover (Scheduling.block_cyclic nest ~nprocs ~chunk)
+      && exact_cover (Scheduling.guided_self_scheduling nest ~nprocs))
+
+let test_of_schedule_matches_owner () =
+  (* The tiled assignment must be exactly the owner map, list by list. *)
+  let nest = Loopart.Programs.example2 ~n:30 () in
+  let sched = Codegen.make nest (Tile.rect [| 7; 5 |]) ~nprocs:5 in
+  let a = Scheduling.of_schedule sched in
+  let own = Codegen.owner sched in
+  Array.iteri
+    (fun p points ->
+      List.iter (fun i -> check "of_schedule agrees with owner" p (own i))
+        points)
+    a;
+  check "and covers the space" (Nest.iterations nest) (Scheduling.total a)
+
 let () =
   Alcotest.run "partition"
     [
@@ -530,6 +569,9 @@ let () =
           Alcotest.test_case "gss chunks" `Quick test_scheduling_gss_decreasing;
           Alcotest.test_case "locality ordering" `Quick
             test_scheduling_locality_ordering;
+          Alcotest.test_case "of_schedule = owner" `Quick
+            test_of_schedule_matches_owner;
+          QCheck_alcotest.to_alcotest prop_scheduling_exact_cover;
         ] );
       ( "data placement",
         [

@@ -1,0 +1,271 @@
+(* Tests for the multicore execution runtime: the domain pool, the
+   dynamic-scheduling primitives, the footprint instruments, and - the
+   point of the subsystem - agreement between what the runtime measures
+   on real domains and what Machine.Sim (and Theorems 2/4) predict. *)
+
+open Loopir
+open Partition
+open Loopart
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Pool: barrier and dispatch                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_runs_all_domains () =
+  Runtime.Pool.with_pool 4 (fun pool ->
+      let hits = Array.make 4 0 in
+      (* Three jobs on the same pool: domains are reused, not respawned. *)
+      for _ = 1 to 3 do
+        Runtime.Pool.run pool (fun p _ -> hits.(p) <- hits.(p) + 1)
+      done;
+      Array.iteri (fun p h -> check (Printf.sprintf "domain %d ran" p) 3 h)
+        hits)
+
+let test_pool_barrier_separates_phases () =
+  (* Every domain increments a counter, waits, then reads it: after the
+     barrier all must observe the full count, in every episode. *)
+  Runtime.Pool.with_pool 4 (fun pool ->
+      let counter = Atomic.make 0 in
+      let ok = Atomic.make true in
+      Runtime.Pool.run pool (fun _ barrier ->
+          let sense = ref false in
+          for episode = 1 to 5 do
+            Atomic.incr counter;
+            Runtime.Pool.Barrier.wait barrier ~sense;
+            if Atomic.get counter < 4 * episode then Atomic.set ok false;
+            Runtime.Pool.Barrier.wait barrier ~sense
+          done);
+      checkb "all phases saw the full count" true (Atomic.get ok))
+
+let test_pool_reraises_job_exception () =
+  Runtime.Pool.with_pool 3 (fun pool ->
+      let raised =
+        try
+          Runtime.Pool.run pool (fun p barrier ->
+              if p = 1 then failwith "boom"
+              else Runtime.Pool.Barrier.wait barrier ~sense:(ref false));
+          false
+        with Failure m -> m = "boom"
+      in
+      checkb "worker failure reaches the caller" true raised;
+      (* And the pool survives for the next job. *)
+      let n = Atomic.make 0 in
+      Runtime.Pool.run pool (fun _ _ -> Atomic.incr n);
+      check "pool still usable" 3 (Atomic.get n))
+
+let test_counter_covers_range () =
+  let c = Runtime.Pool.Counter.create ~total:100 in
+  let seen = Array.make 100 0 in
+  let rec drain () =
+    match Runtime.Pool.Counter.next c ~chunk:(fun ~remaining ->
+              Intmath.Int_math.ceil_div remaining 4)
+    with
+    | None -> ()
+    | Some (lo, hi) ->
+        checkb "ordered" true (lo < hi && hi <= 100);
+        for i = lo to hi - 1 do
+          seen.(i) <- seen.(i) + 1
+        done;
+        drain ()
+  in
+  drain ();
+  Array.iter (fun s -> check "each index grabbed once" 1 s) seen;
+  (* reset rewinds for the next sequential step *)
+  Runtime.Pool.Counter.reset c;
+  checkb "reset reopens the range" true
+    (Runtime.Pool.Counter.next c ~chunk:(fun ~remaining:_ -> 1) <> None)
+
+let test_deques_cover_and_steal () =
+  let d = Runtime.Pool.Deques.create ~lengths:[| 10; 0; 6 |] in
+  let seen = Hashtbl.create 16 in
+  let rec drain me =
+    match Runtime.Pool.Deques.pop d ~me ~chunk:4 with
+    | None -> ()
+    | Some (owner, lo, hi) ->
+        for i = lo to hi - 1 do
+          let key = (owner, i) in
+          checkb "no double grab" false (Hashtbl.mem seen key);
+          Hashtbl.replace seen key ()
+        done;
+        drain me
+  in
+  (* Domain 1 has an empty queue: everything it gets is stolen. *)
+  drain 1;
+  drain 0;
+  drain 2;
+  check "all items drained exactly once" 16 (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Measure: footprint counters                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_touched_exact_and_bloom () =
+  let exact = Runtime.Measure.touched Runtime.Measure.Exact ~universe:1000 in
+  List.iter (Runtime.Measure.touch exact) [ 3; 7; 3; 999; 7; 0 ];
+  check "exact distinct count" 4 (Runtime.Measure.touched_count exact);
+  checkb "exact mode" true (Runtime.Measure.is_exact exact);
+  let bloom =
+    Runtime.Measure.touched (Runtime.Measure.Bloom 65536) ~universe:1000
+  in
+  for i = 0 to 499 do
+    Runtime.Measure.touch bloom (i * 2);
+    Runtime.Measure.touch bloom (i * 2) (* duplicates must not count *)
+  done;
+  let est = Runtime.Measure.touched_count bloom in
+  checkb "bloom estimate within 2%" true (abs (est - 500) <= 10);
+  checkb "bloom is estimated" false (Runtime.Measure.is_exact bloom)
+
+let test_union_count () =
+  let mk l =
+    let t = Runtime.Measure.touched Runtime.Measure.Exact ~universe:64 in
+    List.iter (Runtime.Measure.touch t) l;
+    t
+  in
+  check "union of overlapping sets" 5
+    (Runtime.Measure.union_count [| mk [ 1; 2; 3 ]; mk [ 3; 4; 5 ] |])
+
+(* ------------------------------------------------------------------ *)
+(* Runtime vs simulator: the validation protocol                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Small instances of gallery nests: the runtime's per-domain distinct
+   elements must equal Machine.Sim's, domain by domain. *)
+let agreement_nests =
+  [
+    ("example2", Programs.example2 ~n:40 ());
+    ("example3", Programs.example3 ~n:24 ());
+    ("matmul", Programs.matmul ~n:12 ());
+    ("stencil5", Programs.stencil5 ~n:17 ~steps:2 ());
+  ]
+
+let test_runtime_agrees_with_sim () =
+  List.iter
+    (fun (name, nest) ->
+      let a = Driver.analyze ~nprocs:4 nest in
+      let v = Driver.validate a in
+      checkb
+        (Printf.sprintf "%s: runtime footprints = simulator footprints" name)
+        true v.Runtime.Validate.footprints_agree;
+      checkb (Printf.sprintf "%s: verdict ok" name) true
+        (Runtime.Validate.ok v))
+    agreement_nests
+
+let test_tiled_prediction_matches_measurement () =
+  (* For the interior-dominated example2 the Theorem 2 prediction is not
+     just a bound: the measured per-domain footprint equals it. *)
+  let a = Driver.analyze ~nprocs:4 (Programs.example2 ()) in
+  let r =
+    Driver.execute
+      ~config:{ Driver.default_exec_config with repeats = 1 }
+      a
+  in
+  match r.Runtime.Measure.predicted_per_domain with
+  | None -> Alcotest.fail "tiled policy must carry a prediction"
+  | Some predicted ->
+      check "measured max footprint = Theorem 2 prediction" predicted
+        (Runtime.Measure.max_footprint r)
+
+let test_values_match_sequential () =
+  let a = Driver.analyze ~nprocs:4 (Programs.example2 ~n:40 ()) in
+  let v = Driver.validate a in
+  checkb "race free" true v.Runtime.Validate.race_free;
+  checkb "deterministic" true v.Runtime.Validate.deterministic;
+  Alcotest.(check (option bool))
+    "parallel values = sequential values" (Some true)
+    v.Runtime.Validate.values_match
+
+let test_reduction_contention_is_reported () =
+  (* diag_accumulate writes one diagonal cell from many iterations: a
+     legal shared accumulate, flagged but not a race. *)
+  let nest = Programs.diag_accumulate ~n:16 () in
+  let a = Driver.analyze ~nprocs:4 nest in
+  let v = Driver.validate a in
+  checkb "accumulates are not write races" true v.Runtime.Validate.race_free;
+  checkb "contended accumulates reported" true
+    (v.Runtime.Validate.shared_accumulates <> [])
+
+let test_dynamic_policies_execute_everything () =
+  let nest = Programs.example2 ~n:40 () in
+  let trip = Nest.iterations nest in
+  let a = Driver.analyze ~nprocs:4 nest in
+  let run policy =
+    Driver.execute
+      ~config:{ Driver.default_exec_config with policy; repeats = 1 }
+      a
+  in
+  (* Whatever the schedule, the union of touched elements is the same
+     set - only its distribution over domains changes. *)
+  let tiled_union = (run Driver.Tiled).Runtime.Measure.distinct_total in
+  List.iter
+    (fun policy ->
+      let r = run policy in
+      let executed =
+        Array.fold_left
+          (fun acc (d : Runtime.Measure.domain_stat) -> acc + d.iterations)
+          0 r.Runtime.Measure.per_domain
+      in
+      check "every iteration executed exactly once" trip executed;
+      check "union footprint matches the tiled run" tiled_union
+        r.Runtime.Measure.distinct_total)
+    [ Driver.Cyclic; Driver.Block_cyclic 7; Driver.Guided;
+      Driver.Work_steal 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Codegen.load_balance regression (satellite)                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_load_balance_never_nan () =
+  (* More processors than iterations: min is 0, the ratio is finite. *)
+  let nest = Programs.example2 ~n:3 () in
+  let sched = Codegen.make nest (Tile.rect [| 1; 3 |]) ~nprocs:8 in
+  let mn, mx, imb = Codegen.load_balance sched in
+  check "some processor is idle" 0 mn;
+  checkb "max positive" true (mx > 0);
+  checkb "imbalance not NaN" false (Float.is_nan imb);
+  (* imbalance = max / (total / nprocs) = 3 / (9/8) *)
+  Alcotest.(check (float 1e-9)) "true ratio" (3.0 /. (9.0 /. 8.0)) imb
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "dispatch to all domains" `Quick
+            test_pool_runs_all_domains;
+          Alcotest.test_case "barrier separates phases" `Quick
+            test_pool_barrier_separates_phases;
+          Alcotest.test_case "job exception re-raised" `Quick
+            test_pool_reraises_job_exception;
+          Alcotest.test_case "counter covers range" `Quick
+            test_counter_covers_range;
+          Alcotest.test_case "deques cover and steal" `Quick
+            test_deques_cover_and_steal;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "exact and bloom counters" `Quick
+            test_touched_exact_and_bloom;
+          Alcotest.test_case "union cardinality" `Quick test_union_count;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "runtime = simulator footprints" `Quick
+            test_runtime_agrees_with_sim;
+          Alcotest.test_case "Theorem 2 prediction = measurement" `Quick
+            test_tiled_prediction_matches_measurement;
+          Alcotest.test_case "values match sequential" `Quick
+            test_values_match_sequential;
+          Alcotest.test_case "reduction contention reported" `Quick
+            test_reduction_contention_is_reported;
+          Alcotest.test_case "dynamic policies execute everything" `Quick
+            test_dynamic_policies_execute_everything;
+        ] );
+      ( "codegen regression",
+        [
+          Alcotest.test_case "load_balance never NaN" `Quick
+            test_load_balance_never_nan;
+        ] );
+    ]

@@ -24,6 +24,82 @@ let row4 a b c d = pf "%-26s %16s %16s %16s@." a b c d
 let soi = string_of_int
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: every measured run of the real-execution   *)
+(* experiments is appended here and dumped to BENCH_runtime.json so the *)
+(* perf trajectory can be tracked across commits.                       *)
+(* ------------------------------------------------------------------ *)
+
+let bench_records : (string * Runtime.Measure.report) list ref = ref []
+let record experiment r = bench_records := (experiment, r) :: !bench_records
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json path =
+  match List.rev !bench_records with
+  | [] -> ()
+  | records ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let item (experiment, (r : Runtime.Measure.report)) =
+            let total_iterations =
+              Array.fold_left
+                (fun acc (d : Runtime.Measure.domain_stat) ->
+                  acc + d.Runtime.Measure.iterations)
+                0 r.Runtime.Measure.per_domain
+            in
+            let ns_per_iter =
+              if total_iterations = 0 then 0.0
+              else
+                1e9 *. r.Runtime.Measure.wall_seconds
+                /. float_of_int total_iterations
+            in
+            String.concat ""
+              [
+                "  {\"experiment\": \"";
+                json_escape experiment;
+                "\", \"name\": \"";
+                json_escape r.Runtime.Measure.name;
+                "\", \"policy\": \"";
+                json_escape r.Runtime.Measure.policy;
+                "\", \"nprocs\": ";
+                soi r.Runtime.Measure.nprocs;
+                ", \"steps\": ";
+                soi r.Runtime.Measure.steps;
+                ", \"wall_seconds\": ";
+                Printf.sprintf "%.6g" r.Runtime.Measure.wall_seconds;
+                ", \"ns_per_iter\": ";
+                Printf.sprintf "%.1f" ns_per_iter;
+                ", \"max_footprint\": ";
+                soi (Runtime.Measure.max_footprint r);
+                ", \"distinct_total\": ";
+                soi r.Runtime.Measure.distinct_total;
+                ", \"predicted_per_domain\": ";
+                (match r.Runtime.Measure.predicted_per_domain with
+                | Some v -> soi v
+                | None -> "null");
+                "}";
+              ]
+          in
+          output_string oc "[\n";
+          output_string oc (String.concat ",\n" (List.map item records));
+          output_string oc "\n]\n");
+      pf "@.wrote %d measured runs to %s@." (List.length records) path
+
+(* ------------------------------------------------------------------ *)
 (* E1: Example 2 / Figure 3                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -735,9 +811,13 @@ let e20 () =
   let open Loopart in
   let exec ?steps ~policy nest nprocs =
     let a = Driver.analyze ~nprocs nest in
-    Driver.execute
-      ~config:{ Driver.default_exec_config with policy; repeats = 2; steps }
-      a
+    let r =
+      Driver.execute
+        ~config:{ Driver.default_exec_config with policy; repeats = 2; steps }
+        a
+    in
+    record "E20" r;
+    r
   in
   let workloads =
     [
@@ -877,4 +957,5 @@ let () =
       | Some f -> f ()
       | None -> pf "unknown experiment %s@." id)
     selected;
+  write_bench_json "BENCH_runtime.json";
   pf "@.done.@."

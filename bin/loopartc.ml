@@ -364,12 +364,93 @@ let sweep_cmd =
           cost of each tile shape (optionally simulating them)")
     Term.(term_result (const run $ source_arg $ nprocs_arg $ simulate_arg))
 
+let fuzz_cmd =
+  let seed_arg =
+    let doc = "PRNG seed; a failure report names the seed that replays it." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of random cases to generate and check." in
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let fault_arg =
+    let parse s =
+      match Proptest.Oracle.fault_of_string s with
+      | Some f -> Ok f
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown fault %S (none | spread-off-by-one | drop-iteration)"
+                 s))
+    in
+    let print ppf f =
+      Format.pp_print_string ppf (Proptest.Oracle.fault_to_string f)
+    in
+    let doc =
+      "Inject a known bug to prove the oracles catch it: \
+       $(b,spread-off-by-one) perturbs the class spread vector, \
+       $(b,drop-iteration) deletes one scheduled iteration."
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Proptest.Oracle.No_fault
+      & info [ "inject-fault" ] ~docv:"FAULT" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the shrunk counterexample report to $(docv) on failure." in
+    Arg.(
+      value
+      & opt string "fuzz-counterexample.txt"
+      & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let max_failures_arg =
+    let doc = "Stop after this many failures have been collected and shrunk." in
+    Arg.(value & opt int 3 & info [ "max-failures" ] ~docv:"K" ~doc)
+  in
+  let run seed count fault out max_failures =
+    wrap (fun () ->
+        let progress id =
+          if id > 0 then Format.eprintf "fuzz: %d/%d cases...@." id count
+        in
+        let o =
+          Proptest.Fuzz.run ~fault ~max_failures ~progress ~seed ~count ()
+        in
+        Format.printf "%a" Proptest.Fuzz.pp_outcome o;
+        if o.Proptest.Fuzz.failures <> [] then begin
+          let oc = open_out out in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              List.iter
+                (fun f ->
+                  output_string oc (Proptest.Fuzz.render_failure o f))
+                o.Proptest.Fuzz.failures);
+          Format.printf "counterexample report written to %s@." out;
+          raise
+            (Invalid_argument
+               (Printf.sprintf "fuzz: %d oracle violation(s)"
+                  (List.length o.Proptest.Fuzz.failures)))
+        end)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random affine nests cross-checked against \
+          brute-force enumeration, the cache simulator, real-domain \
+          execution, and exhaustive partition search; failures are shrunk \
+          to a minimal replayable nest")
+    Term.(
+      term_result
+        (const run $ seed_arg $ count_arg $ fault_arg $ out_arg
+       $ max_failures_arg))
+
 let main =
   let doc =
     "automatic partitioning of parallel loops for cache-coherent \
      multiprocessors (Agarwal, Kranz & Natarajan, ICPP 1993)"
   in
   Cmd.group (Cmd.info "loopartc" ~version:"1.0.0" ~doc)
-    [ list_cmd; show_cmd; analyze_cmd; simulate_cmd; run_cmd; codegen_cmd; evaluate_cmd; sweep_cmd ]
+    [ list_cmd; show_cmd; analyze_cmd; simulate_cmd; run_cmd; codegen_cmd; evaluate_cmd; sweep_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

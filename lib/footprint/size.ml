@@ -248,6 +248,25 @@ let rect_single ~lambda ~g =
               (rect_single_poly ~nesting:(Imat.rows g) ~g)
               lambda
 
+let enumerate_union_distinct ~lambda_red ~g_reduced ~spread_red =
+  let n = Array.length lambda_red in
+  let seen = Hashtbl.create 1024 in
+  let point = Array.make n 0 in
+  let rec go i =
+    if i = n then begin
+      let img = Imat.mul_row point g_reduced in
+      Hashtbl.replace seen (Array.to_list img) ();
+      Hashtbl.replace seen (Array.to_list (Ivec.add img spread_red)) ()
+    end
+    else
+      for v = 0 to lambda_red.(i) do
+        point.(i) <- v;
+        go (i + 1)
+      done
+  in
+  go 0;
+  Hashtbl.length seen
+
 let rect_cumulative ~exact ~lambda ~g ~spread =
   if Array.length lambda <> Imat.rows g then
     invalid_arg "Size.rect_cumulative: lambda length must equal rows of G";
@@ -259,6 +278,23 @@ let rect_cumulative ~exact ~lambda ~g ~spread =
       let lambda_red = lambda_of_rows lambda red.kept_rows in
       let bounded = Lattice.make red.g_reduced lambda_red in
       Lattice.union_size_translate bounded red.spread_reduced
+    end
+    else if exact then begin
+      (* Rank-deficient reduced G (projections like A[i+j], dependent
+         rows): Lemma 3 does not apply, but the union is still countable
+         by enumeration for small tiles.  The Theorem 4 linearization is
+         badly wrong exactly at degenerate tiles - a trip-count-1 tile
+         with two coinciding references must report the single footprint,
+         not single + |u| terms. *)
+      let lambda_red = lambda_of_rows lambda red.kept_rows in
+      let points =
+        Array.fold_left (fun acc l -> Int_math.mul_exact acc (l + 1)) 1
+          lambda_red
+      in
+      if points <= enumeration_budget then
+        enumerate_union_distinct ~lambda_red ~g_reduced:red.g_reduced
+          ~spread_red:red.spread_reduced
+      else eval_poly_at_lambda (rect_cumulative_poly ~nesting ~g ~spread) lambda
     end
     else
       eval_poly_at_lambda (rect_cumulative_poly ~nesting ~g ~spread) lambda

@@ -47,7 +47,12 @@ val rect_cumulative :
 (** Cumulative footprint of a uniformly intersecting class over a
     rectangular tile.  With [exact:true] and a full-row-rank reduced [G],
     uses Lemma 3's exact union size (falling back to [2 * single] for
-    non-intersecting translates); otherwise Theorem 4's linearized form. *)
+    non-intersecting translates); with [exact:true] and a rank-deficient
+    reduced [G] (projections, dependent rows) the union is enumerated
+    exactly up to an internal budget - the Theorem 4 linearization is
+    unusable there for degenerate tiles (a trip-count-1 tile with zero
+    spread must equal the single footprint).  With [exact:false], always
+    Theorem 4's linearized form. *)
 
 val rect_single_poly : nesting:int -> g:Imat.t -> Mpoly.t
 (** Symbolic footprint size in [x_k = lambda_k + 1]. *)

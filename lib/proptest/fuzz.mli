@@ -1,0 +1,39 @@
+(** The fuzz campaign driver: generate cases, run the oracles, shrink
+    failures, and render each failure as a replayable report. *)
+
+type failure = {
+  case : Gen.case;  (** as generated *)
+  violation : Oracle.violation;  (** first oracle it tripped *)
+  shrunk : Gen.case;  (** minimized reproducer *)
+  shrunk_violation : Oracle.violation;
+  shrink_steps : int;
+}
+
+type outcome = {
+  seed : int;
+  count : int;  (** cases requested *)
+  tested : int;  (** cases actually run (early stop on max_failures) *)
+  fault : Oracle.fault;
+  failures : failure list;  (** in discovery order *)
+}
+
+val run :
+  ?fault:Oracle.fault ->
+  ?max_failures:int ->
+  ?shrink_budget:int ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  outcome
+(** Runs cases [0 .. count-1] of [seed].  Stops early once
+    [max_failures] (default 3) distinct failures have been collected and
+    shrunk; [shrink_budget] (default 400) caps oracle evaluations per
+    shrink.  [progress] is called with the case id every 50 cases. *)
+
+val render_failure : outcome -> failure -> string
+(** Human-readable report: the oracle verdict, the original and shrunk
+    cases, and the exact [loopartc fuzz] command line that replays the
+    run. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

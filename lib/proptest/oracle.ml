@@ -1,0 +1,421 @@
+open Matrixkit
+open Loopir
+open Footprint
+open Partition
+open Machine
+open Runtime
+
+type fault = No_fault | Spread_off_by_one | Drop_iteration
+
+let fault_to_string = function
+  | No_fault -> "none"
+  | Spread_off_by_one -> "spread-off-by-one"
+  | Drop_iteration -> "drop-iteration"
+
+let fault_of_string = function
+  | "none" -> Some No_fault
+  | "spread-off-by-one" -> Some Spread_off_by_one
+  | "drop-iteration" -> Some Drop_iteration
+  | _ -> None
+
+let all_faults = [ No_fault; Spread_off_by_one; Drop_iteration ]
+
+type violation = { oracle : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.oracle v.detail
+let fail oracle fmt = Format.kasprintf (fun detail -> Some { oracle; detail }) fmt
+
+module Pools = struct
+  type t = (int, Pool.t) Hashtbl.t
+
+  let create () = Hashtbl.create 4
+
+  let get t n =
+    match Hashtbl.find_opt t n with
+    | Some p -> p
+    | None ->
+        let p = Pool.create n in
+        Hashtbl.add t n p;
+        p
+
+  let shutdown t =
+    Hashtbl.iter (fun _ p -> Pool.shutdown p) t;
+    Hashtbl.reset t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ivec_str v = Ivec.to_string v
+
+let space_points nest =
+  (* All iteration-space points, lexicographic. *)
+  let bounds = Nest.bounds nest in
+  let l = Array.length bounds in
+  let rec go k =
+    if k = l then [ [] ]
+    else
+      let lo, hi = bounds.(k) in
+      let rest = go (k + 1) in
+      List.concat_map
+        (fun v -> List.map (fun tl -> v :: tl) rest)
+        (List.init (hi - lo + 1) (fun i -> lo + i))
+  in
+  List.map Array.of_list (go 0)
+
+let select_components v idx = Array.of_list (List.map (fun k -> v.(k)) idx)
+
+let first_some checks =
+  List.fold_left
+    (fun acc check -> match acc with Some _ -> acc | None -> check ())
+    None checks
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 1a: closed-form single-reference footprint vs enumeration    *)
+(* ------------------------------------------------------------------ *)
+
+let check_single (c : Gen.case) =
+  let lambda = Array.map (fun t -> t - 1) c.tile in
+  let iterations = Exact.rect_tile_iterations ~lambda in
+  first_some
+    (List.map
+       (fun (r : Reference.t) () ->
+         let g = Affine.g r.index in
+         let closed = Size.rect_single ~lambda ~g in
+         let brute = Exact.footprint_size ~iterations r.index in
+         if closed <> brute then
+           fail "footprint-single"
+             "ref %s[G=%s]: Size.rect_single=%d but enumeration=%d for tile %s"
+             r.array_name (Imat.to_string g) closed brute
+             (ivec_str c.tile)
+         else None)
+       c.nest.Nest.body)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 1b: cumulative class footprint (Lemma 3 + Theorem 4 engines) *)
+(* ------------------------------------------------------------------ *)
+
+let check_cumulative ~fault (c : Gen.case) =
+  let lambda = Array.map (fun t -> t - 1) c.tile in
+  let iterations = Exact.rect_tile_iterations ~lambda in
+  let perturb_first v =
+    match fault with
+    | Spread_off_by_one when Array.length v > 0 ->
+        let v' = Array.copy v in
+        v'.(0) <- v'.(0) + 1;
+        v'
+    | _ -> v
+  in
+  let check_class (cls : Uniform.cls) () =
+    match (cls.refs, cls.offsets) with
+    | r1 :: r2 :: _, o1 :: o2 :: _ when Imat.rank cls.g > 0 ->
+        let spread = Uniform.spread cls in
+        let red = Size.reduce ~g:cls.g ~spread in
+        let brute =
+          Exact.cumulative_footprint_size ~iterations
+            [ r1.Reference.index; r2.Reference.index ]
+        in
+        let lemma3_check () =
+          if not red.Size.full_row_rank then None
+          else begin
+            let diff = perturb_first (Ivec.sub o2 o1) in
+            let diff_red = select_components diff red.Size.kept_cols in
+            let lambda_red = select_components lambda red.Size.kept_rows in
+            let lat = Lattice.make red.Size.g_reduced lambda_red in
+            let lemma3 = Lattice.union_size_translate lat diff_red in
+            if lemma3 <> brute then
+              fail "footprint-cumulative"
+                "class %s[G=%s] offsets %s,%s: Lemma 3 union=%d but \
+                 enumeration=%d for tile %s"
+                cls.array_name (Imat.to_string cls.g) (ivec_str o1)
+                (ivec_str o2) lemma3 brute (ivec_str c.tile)
+            else None
+          end
+        in
+        let engine_check () =
+          (* The public engine takes the Definition 8 spread, which only
+             equals the true translation when the offset difference does
+             not mix signs (see Size.lattice_spread).  Only two-member
+             classes have spread = |diff|.  Checked for rank-deficient
+             reduced G as well: exact:true must enumerate there. *)
+          if
+            List.length cls.refs = 2
+            && (Array.for_all (fun d -> d >= 0) (Ivec.sub o2 o1)
+               || Array.for_all (fun d -> d <= 0) (Ivec.sub o2 o1))
+          then begin
+            let api =
+              Size.rect_cumulative ~exact:true ~lambda ~g:cls.g
+                ~spread:(perturb_first spread)
+            in
+            if api <> brute then
+              fail "footprint-cumulative"
+                "class %s[G=%s] spread %s: Size.rect_cumulative=%d but \
+                 enumeration=%d for tile %s"
+                cls.array_name (Imat.to_string cls.g) (ivec_str spread) api
+                brute (ivec_str c.tile)
+            else None
+          end
+          else None
+        in
+        first_some [ lemma3_check; engine_check ]
+    | _ -> None
+  in
+  first_some (List.map check_class (Uniform.classify_nest c.nest))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 2: owner schedules cover the space exactly once              *)
+(* ------------------------------------------------------------------ *)
+
+let check_coverage (c : Gen.case) sched per_proc =
+  let total = Array.fold_left (fun a l -> a + List.length l) 0 per_proc in
+  if total <> Nest.iterations c.nest then
+    fail "owner-cover" "schedules hold %d iterations, space has %d" total
+      (Nest.iterations c.nest)
+  else begin
+    let seen = Hashtbl.create (max 16 total) in
+    let dup = ref None in
+    let misowned = ref None in
+    Array.iteri
+      (fun p pts ->
+        List.iter
+          (fun pt ->
+            let key = Array.to_list pt in
+            if Hashtbl.mem seen key && !dup = None then dup := Some pt;
+            Hashtbl.replace seen key ();
+            let o = Codegen.owner sched pt in
+            if o <> p && !misowned = None then misowned := Some (pt, p, o))
+          pts)
+      per_proc;
+    match (!dup, !misowned) with
+    | Some pt, _ ->
+        fail "owner-cover" "iteration %s scheduled twice" (ivec_str pt)
+    | _, Some (pt, p, o) ->
+        fail "owner-cover" "iteration %s in proc %d's schedule but owner=%d"
+          (ivec_str pt) p o
+    | None, None ->
+        (* total and uniqueness imply full cover; still check owner range
+           over the whole space. *)
+        first_some
+          (List.map
+             (fun pt () ->
+               let o = Codegen.owner sched pt in
+               if o < 0 || o >= c.nprocs then
+                 fail "owner-cover" "owner %s = %d outside 0..%d" (ivec_str pt)
+                   o (c.nprocs - 1)
+               else None)
+             (space_points c.nest))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 3: runtime domains, simulator and brute force agree          *)
+(* ------------------------------------------------------------------ *)
+
+let brute_footprints (c : Gen.case) per_proc =
+  let per =
+    Array.map
+      (fun pts ->
+        let h = Hashtbl.create 64 in
+        List.iter
+          (fun pt ->
+            List.iter
+              (fun (r : Reference.t) ->
+                Hashtbl.replace h
+                  (r.array_name, Array.to_list (Affine.apply r.index pt))
+                  ())
+              c.nest.Nest.body)
+          pts;
+        h)
+      per_proc
+  in
+  let union = Hashtbl.create 256 in
+  Array.iter (fun h -> Hashtbl.iter (fun k () -> Hashtbl.replace union k ()) h) per;
+  (Array.map Hashtbl.length per, Hashtbl.length union)
+
+let check_runtime ~pools (c : Gen.case) sim per_proc =
+  let compiled = Exec.compile c.nest in
+  let steps = Exec.steps_of_nest c.nest in
+  let pool = Pools.get pools c.nprocs in
+  let work = Exec.static_of_assignment per_proc in
+  let inst = Exec.measure pool compiled work ~steps ~mode:Measure.Exact in
+  let brute_per, brute_union = brute_footprints c per_proc in
+  let sim_per = Sim.footprints sim in
+  let mismatch = ref None in
+  Array.iteri
+    (fun p bf ->
+      if !mismatch = None
+         && (inst.Exec.footprints.(p) <> bf || sim_per.(p) <> bf)
+      then mismatch := Some (p, bf, inst.Exec.footprints.(p), sim_per.(p)))
+    brute_per;
+  match !mismatch with
+  | Some (p, bf, rt, sm) ->
+      fail "runtime-sim-agree"
+        "proc %d footprint: brute=%d runtime-bitset=%d sim=%d" p bf rt sm
+  | None ->
+      let iter_bad = ref None in
+      Array.iteri
+        (fun p pts ->
+          let want = steps * List.length pts in
+          if !iter_bad = None && inst.Exec.iterations.(p) <> want then
+            iter_bad := Some (p, want, inst.Exec.iterations.(p)))
+        per_proc;
+      (match !iter_bad with
+      | Some (p, want, got) ->
+          fail "runtime-sim-agree" "proc %d executed %d iterations, want %d" p
+            got want
+      | None ->
+          if not inst.Exec.exact then
+            fail "runtime-sim-agree" "bitset fell back to estimation"
+          else if inst.Exec.distinct_total <> brute_union then
+            fail "runtime-sim-agree" "union footprint: runtime=%d brute=%d"
+              inst.Exec.distinct_total brute_union
+          else if Addr.size sim.Sim.addrs <> brute_union then
+            fail "runtime-sim-agree" "union footprint: sim=%d brute=%d"
+              (Addr.size sim.Sim.addrs) brute_union
+          else None)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 4: simulator traffic invariant under processor relabeling    *)
+(* ------------------------------------------------------------------ *)
+
+let check_relabel (c : Gen.case) sim per_proc =
+  if c.nprocs < 2 then None
+  else begin
+    let n = Array.length per_proc in
+    let relabeled = Array.init n (fun p -> per_proc.(n - 1 - p)) in
+    let sim' = Sim.run_assignment c.nest ~per_proc:relabeled Sim.default in
+    let sorted r =
+      let a = Array.copy (Stats.touched r.Sim.stats) in
+      Array.sort compare a;
+      a
+    in
+    let s1 = sim.Sim.stats and s2 = sim'.Sim.stats in
+    if sorted sim <> sorted sim' then
+      fail "sim-relabel-invariant" "footprint multiset changed: %s vs %s"
+        (ivec_str (sorted sim)) (ivec_str (sorted sim'))
+    else if Addr.size sim.Sim.addrs <> Addr.size sim'.Sim.addrs then
+      fail "sim-relabel-invariant" "distinct addresses changed: %d vs %d"
+        (Addr.size sim.Sim.addrs) (Addr.size sim'.Sim.addrs)
+    else if
+      (s1.Stats.accesses, s1.Stats.reads, s1.Stats.writes, s1.Stats.sync_ops)
+      <> (s2.Stats.accesses, s2.Stats.reads, s2.Stats.writes, s2.Stats.sync_ops)
+    then
+      fail "sim-relabel-invariant"
+        "access counts changed: (%d,%d,%d,%d) vs (%d,%d,%d,%d)"
+        s1.Stats.accesses s1.Stats.reads s1.Stats.writes s1.Stats.sync_ops
+        s2.Stats.accesses s2.Stats.reads s2.Stats.writes s2.Stats.sync_ops
+    else if
+      (* With no writes there is no coherence traffic: under the default
+         infinite cache every miss is a per-processor first touch, so the
+         miss count is the sum of the footprints however processors are
+         named. *)
+      (not (List.exists Reference.is_write_like c.nest.Nest.body))
+      && (s1.Stats.misses <> s2.Stats.misses
+         || s1.Stats.misses
+            <> Array.fold_left ( + ) 0 (Stats.touched sim.Sim.stats))
+    then
+      fail "sim-relabel-invariant"
+        "read-only misses: %d vs %d (sum of footprints %d)" s1.Stats.misses
+        s2.Stats.misses
+        (Array.fold_left ( + ) 0 (Stats.touched sim.Sim.stats))
+    else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 5: the optimizer never loses to exhaustive grid search       *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent re-enumeration of processor grids (do not reuse
+   Int_math.factorizations: a bug there would hide from a circular
+   oracle). *)
+let rec grids_of l n =
+  if l = 1 then [ [ n ] ]
+  else
+    List.concat_map
+      (fun d ->
+        if n mod d = 0 then List.map (fun rest -> d :: rest) (grids_of (l - 1) (n / d))
+        else [])
+      (List.init n (fun i -> i + 1))
+
+let check_optimizer (c : Gen.case) =
+  let cost = Cost.of_nest c.nest in
+  match Rectangular.optimize cost ~nprocs:c.nprocs with
+  | exception Invalid_argument msg
+    when (* too many processors for the space: documented precondition *)
+         String.length msg >= 16
+         && String.sub msg 0 11 = "Rectangular" ->
+      None
+  | r ->
+      let extents = Nest.extents c.nest in
+      let l = Array.length extents in
+      let feasible =
+        List.filter
+          (fun grid -> List.for_all2 (fun p n -> p <= n) grid (Array.to_list extents))
+          (grids_of l c.nprocs)
+      in
+      let objective_of grid =
+        let sizes =
+          Array.of_list
+            (List.mapi (fun k p -> (extents.(k) + p - 1) / p) grid)
+        in
+        Cost.eval_objective cost (Array.map float_of_int sizes)
+      in
+      let best =
+        List.fold_left (fun acc g -> Float.min acc (objective_of g)) infinity
+          feasible
+      in
+      let chosen =
+        Cost.eval_objective cost (Array.map float_of_int r.Rectangular.sizes)
+      in
+      let prod = Array.fold_left ( * ) 1 r.Rectangular.grid in
+      if prod <> c.nprocs then
+        fail "optimizer-dominates" "grid %s does not multiply to %d procs"
+          (ivec_str r.Rectangular.grid) c.nprocs
+      else if feasible = [] then
+        fail "optimizer-dominates"
+          "optimize returned a tile but independent search found no feasible \
+           grid"
+      else if chosen > best +. (1e-6 *. (1.0 +. Float.abs best)) then
+        fail "optimizer-dominates"
+          "chosen sizes %s cost %.6f but exhaustive grid search reaches %.6f"
+          (ivec_str r.Rectangular.sizes) chosen best
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* Putting it together                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let apply_drop_fault fault per_proc =
+  match fault with
+  | Drop_iteration ->
+      let out = Array.copy per_proc in
+      let dropped = ref false in
+      for p = Array.length out - 1 downto 0 do
+        if (not !dropped) && out.(p) <> [] then begin
+          out.(p) <- List.filteri (fun i _ -> i < List.length out.(p) - 1) out.(p);
+          dropped := true
+        end
+      done;
+      out
+  | _ -> per_proc
+
+let check ~fault ~pools (c : Gen.case) =
+  try
+    let sched = Codegen.make c.nest (Tile.rect c.tile) ~nprocs:c.nprocs in
+    let per_proc = apply_drop_fault fault (Codegen.iterations_by_proc sched) in
+    let sim = lazy (Sim.run_assignment c.nest ~per_proc Sim.default) in
+    first_some
+      [
+        (fun () -> check_single c);
+        (fun () -> check_cumulative ~fault c);
+        (fun () -> check_coverage c sched per_proc);
+        (fun () -> check_runtime ~pools c (Lazy.force sim) per_proc);
+        (fun () -> check_relabel c (Lazy.force sim) per_proc);
+        (fun () -> check_optimizer c);
+      ]
+  with e ->
+    Some
+      {
+        oracle = "exception";
+        detail = Printexc.to_string e;
+      }

@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make seed =
+  let t = { state = Int64.of_int seed } in
+  (* Burn a couple of outputs so small adjacent seeds decorrelate. *)
+  ignore (next t);
+  ignore (next t);
+  t
+
+let case ~seed ~id =
+  let t =
+    {
+      state =
+        Int64.logxor
+          (Int64.mul (Int64.of_int (id + 1)) 0x632BE59BD9B4E019L)
+          (Int64.of_int seed);
+    }
+  in
+  ignore (next t);
+  ignore (next t);
+  t
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  Int64.to_int
+    (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+let chance t ~pct = int t 100 < pct
+let choose t a = a.(int t (Array.length a))

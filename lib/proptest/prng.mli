@@ -1,0 +1,30 @@
+(** A tiny deterministic PRNG (splitmix64) for the differential fuzzer.
+
+    [Stdlib.Random] is avoided on purpose: its stream is not guaranteed
+    stable across OCaml releases, and a fuzz failure must be replayable
+    from [--seed S] forever.  Splitmix64 is fully specified by its seed,
+    so a counterexample seed printed by CI reproduces bit-identically on
+    any machine. *)
+
+type t
+
+val make : int -> t
+(** Stream seeded by an integer. *)
+
+val case : seed:int -> id:int -> t
+(** An independent stream for case [id] of run [seed]: case [k] of a run
+    generates the same nest no matter how many cases precede it, so a
+    single failing case can be regenerated without replaying the run. *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound).  Raises [Invalid_argument] on [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** Uniform inclusive [lo..hi]. *)
+
+val bool : t -> bool
+
+val chance : t -> pct:int -> bool
+(** True with probability [pct]/100. *)
+
+val choose : t -> 'a array -> 'a

@@ -1,0 +1,178 @@
+open Matrixkit
+open Loopir
+
+type result = {
+  shrunk : Gen.case;
+  violation : Oracle.violation;
+  evals : int;
+  steps : int;
+}
+
+(* Rebuild a case from mutated parts; ill-formed candidates (e.g. an
+   empty body) are simply not proposed. *)
+let rebuild (c : Gen.case) ?seq loops refs tile nprocs =
+  try
+    Some (Gen.build ~seed:c.seed ~id:c.id ?seq loops refs ~tile ~nprocs)
+  with Invalid_argument _ -> None
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let drop_index a n =
+  Array.of_list (drop_nth (Array.to_list a) n)
+
+let set_ref (r : Reference.t) g offset =
+  let aff = Affine.make g offset in
+  match r.kind with
+  | Reference.Read -> Reference.read r.array_name aff
+  | Reference.Write -> Reference.write r.array_name aff
+  | Reference.Accumulate -> Reference.accumulate r.array_name aff
+
+let candidates (c : Gen.case) =
+  let nest = c.nest in
+  let loops = nest.Nest.loops in
+  let refs = nest.Nest.body in
+  let seq = nest.Nest.seq in
+  let depth = List.length loops in
+  let nrefs = List.length refs in
+  let acc = ref [] in
+  let push cand = match cand with Some x -> acc := x :: !acc | None -> () in
+  let same ?(seq = seq) ?(loops = loops) ?(refs = refs) ?(tile = c.tile)
+      ?(nprocs = c.nprocs) () =
+    rebuild c ?seq loops refs tile nprocs
+  in
+  (* Drop the sequential loop. *)
+  if seq <> None then push (same ~seq:None ());
+  (* Drop one reference. *)
+  if nrefs > 1 then
+    for r = 0 to nrefs - 1 do
+      push (same ~refs:(drop_nth refs r) ())
+    done;
+  (* Drop a whole loop dimension: remove loop k, row k of every G, tile
+     entry k. *)
+  if depth > 1 then
+    for k = 0 to depth - 1 do
+      let keep = List.filter (fun i -> i <> k) (List.init depth Fun.id) in
+      let refs' =
+        List.map
+          (fun (r : Reference.t) ->
+            set_ref r
+              (Imat.select_rows (Affine.g r.index) keep)
+              (Affine.offset r.index))
+          refs
+      in
+      push (same ~loops:(drop_nth loops k) ~refs:refs' ~tile:(drop_index c.tile k) ())
+    done;
+  (* Shrink extents: halve, and all the way to trip count 1.  The tile
+     size is clipped so the candidate stays well-formed. *)
+  List.iteri
+    (fun k (lp : Nest.loop) ->
+      let extent = lp.upper - lp.lower + 1 in
+      let with_extent e =
+        let loops' =
+          List.mapi
+            (fun i l -> if i = k then { l with Nest.upper = l.Nest.lower + e - 1 } else l)
+            loops
+        in
+        let tile' = Array.copy c.tile in
+        tile'.(k) <- min tile'.(k) e;
+        same ~loops:loops' ~tile:tile' ()
+      in
+      if extent > 1 then begin
+        push (with_extent 1);
+        if extent > 2 then push (with_extent (extent / 2))
+      end;
+      if lp.lower <> 0 then
+        push
+          (same
+             ~loops:
+               (List.mapi
+                  (fun i (l : Nest.loop) ->
+                    if i = k then Nest.loop l.var 0 (l.upper - l.lower) else l)
+                  loops)
+             ()))
+    loops;
+  (* Shorten the sequential loop to its minimum of 2 steps. *)
+  (match seq with
+  | Some l when l.Nest.upper - l.Nest.lower + 1 > 2 ->
+      push (same ~seq:(Some (Nest.loop l.var l.lower (l.lower + 1))) ())
+  | _ -> ());
+  (* Shrink tile sizes. *)
+  Array.iteri
+    (fun k t ->
+      if t > 1 then begin
+        let tile' = Array.copy c.tile in
+        tile'.(k) <- 1;
+        push (same ~tile:tile' ());
+        if t > 2 then begin
+          let tile'' = Array.copy c.tile in
+          tile''.(k) <- t / 2;
+          push (same ~tile:tile'' ())
+        end
+      end)
+    c.tile;
+  (* Shrink the processor count. *)
+  if c.nprocs > 1 then begin
+    push (same ~nprocs:1 ());
+    if c.nprocs > 2 then push (same ~nprocs:(c.nprocs / 2) ())
+  end;
+  (* Zero or halve G entries and offset components, one at a time. *)
+  List.iteri
+    (fun r (rf : Reference.t) ->
+      let g = Affine.g rf.index and off = Affine.offset rf.index in
+      let with_ref rf' = same ~refs:(List.mapi (fun i x -> if i = r then rf' else x) refs) () in
+      for i = 0 to Imat.rows g - 1 do
+        for j = 0 to Imat.cols g - 1 do
+          let e = Imat.get g i j in
+          if e <> 0 then begin
+            let set v = Imat.make (Imat.rows g) (Imat.cols g) (fun i' j' ->
+                if i' = i && j' = j then v else Imat.get g i' j')
+            in
+            push (with_ref (set_ref rf (set 0) off));
+            if abs e >= 2 then push (with_ref (set_ref rf (set (e / 2)) off))
+          end
+        done
+      done;
+      Array.iteri
+        (fun j o ->
+          if o <> 0 then begin
+            let off' = Array.copy off in
+            off'.(j) <- 0;
+            push (with_ref (set_ref rf g off'));
+            if abs o >= 2 then begin
+              let off'' = Array.copy off in
+              off''.(j) <- o / 2;
+              push (with_ref (set_ref rf g off''))
+            end
+          end)
+        off)
+    refs;
+  List.rev !acc
+
+let minimize ~fails ~budget case violation =
+  let evals = ref 0 in
+  let steps = ref 0 in
+  let current = ref case in
+  let current_v = ref violation in
+  let improved = ref true in
+  while !improved && !evals < budget do
+    improved := false;
+    let w = Gen.weight !current in
+    let rec try_cands = function
+      | [] -> ()
+      | cand :: rest ->
+          if !evals >= budget then ()
+          else if Gen.weight cand >= w then try_cands rest
+          else begin
+            incr evals;
+            match fails cand with
+            | Some v ->
+                current := cand;
+                current_v := v;
+                incr steps;
+                improved := true
+            | None -> try_cands rest
+          end
+    in
+    try_cands (candidates !current)
+  done;
+  { shrunk = !current; violation = !current_v; evals = !evals; steps = !steps }

@@ -1,0 +1,26 @@
+(** Greedy counterexample minimization.
+
+    Candidate moves: drop the sequential loop, drop a reference, drop a
+    whole loop dimension (removing the matching [G] rows and tile entry),
+    shrink extents toward trip count 1, move lower bounds to 0, shrink
+    tile sizes and the processor count, and zero or halve individual [G]
+    entries and offset components.  Every accepted move strictly
+    decreases {!Gen.weight}, so the loop terminates; a budget additionally
+    caps the number of oracle evaluations. *)
+
+type result = {
+  shrunk : Gen.case;
+  violation : Oracle.violation;  (** the oracle the shrunk case still fails *)
+  evals : int;  (** oracle evaluations spent *)
+  steps : int;  (** accepted shrink moves *)
+}
+
+val minimize :
+  fails:(Gen.case -> Oracle.violation option) ->
+  budget:int ->
+  Gen.case ->
+  Oracle.violation ->
+  result
+(** [minimize ~fails ~budget case v]: [case] must fail ([fails case =
+    Some v]); returns a case that still fails and cannot be shrunk
+    further by any single move (or the budget ran out). *)

@@ -166,6 +166,100 @@ let test_rs_simulator_confirms_comm_free () =
       check "every miss is a distinct element" (Machine.Addr.size r.Machine.Sim.addrs)
         r.Machine.Sim.stats.Machine.Stats.misses
 
+(* ------------------------------------------------------------------ *)
+(* Gallery-wide comparison against the cost model                      *)
+(* ------------------------------------------------------------------ *)
+
+let objective_of cost sizes =
+  Partition.Cost.eval_objective cost (Array.map float_of_int sizes)
+
+let test_ah_never_beats_optimizer () =
+  (* On every gallery nest inside the AH domain, the footprint
+     optimizer's tile is at least as good as Abraham-Hudak's under the
+     paper's own objective - AH is a special case of the framework
+     (Section 4.1), so it can tie but never win. *)
+  let tried = ref 0 in
+  List.iter
+    (fun (name, nest) ->
+      match Abraham_hudak.partition nest ~nprocs:8 with
+      | Error _ -> ()
+      | Ok ah -> (
+          let cost = Partition.Cost.of_nest nest in
+          match Partition.Rectangular.optimize cost ~nprocs:8 with
+          | exception Invalid_argument _ -> ()
+          | ours ->
+              incr tried;
+              let f_ah = objective_of cost ah.Abraham_hudak.sizes in
+              let f_ours = objective_of cost ours.Partition.Rectangular.sizes in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: optimizer (%.1f) <= AH (%.1f)" name f_ours
+                   f_ah)
+                true
+                (f_ours <= f_ah +. (1e-6 *. (1.0 +. abs_float f_ah)))))
+    Loopart.Programs.all;
+  checkb "at least one gallery nest in the AH domain" true (!tried >= 1)
+
+let test_rs_comm_free_confirmed_on_gallery () =
+  (* Every communication-free R-S slab on the gallery really is free of
+     coherence traffic when executed, and the rectangular ones are never
+     better than the optimizer's choice under the cost objective. *)
+  let simmed = ref 0 in
+  List.iter
+    (fun (name, nest) ->
+      if Loopir.Nest.iterations nest <= 20_000 then
+        let t = Ramanujam_sadayappan.analyze nest in
+        if t.Ramanujam_sadayappan.comm_free then
+          match Ramanujam_sadayappan.slab_tile t nest ~nprocs:4 with
+          | None -> ()
+          | Some tile ->
+              incr simmed;
+              let sched = Partition.Codegen.make nest tile ~nprocs:4 in
+              let r = Machine.Sim.run sched Machine.Sim.default in
+              check
+                (Printf.sprintf "%s: slab has no coherence misses" name)
+                0 r.Machine.Sim.stats.Machine.Stats.coherence_misses;
+              check
+                (Printf.sprintf "%s: slab causes no invalidations" name)
+                0 r.Machine.Sim.stats.Machine.Stats.invalidations;
+              (match tile with
+              | Partition.Tile.Rect sizes -> (
+                  let cost = Partition.Cost.of_nest nest in
+                  match Partition.Rectangular.optimize cost ~nprocs:4 with
+                  | exception Invalid_argument _ -> ()
+                  | ours ->
+                      let f_rs = objective_of cost sizes in
+                      let f_ours =
+                        objective_of cost ours.Partition.Rectangular.sizes
+                      in
+                      Alcotest.(check bool)
+                        (Printf.sprintf
+                           "%s: optimizer (%.1f) <= RS slab (%.1f)" name
+                           f_ours f_rs)
+                        true
+                        (f_ours <= f_rs +. (1e-6 *. (1.0 +. abs_float f_rs))))
+              | Partition.Tile.Pped _ -> ()))
+    Loopart.Programs.all;
+  checkb "at least one comm-free gallery slab simulated" true (!simmed >= 1)
+
+let test_ah_cost_model_sees_the_spread () =
+  (* On the single-array stencil, the AH tile's predicted misses grow
+     with the offset spread exactly as the cost model says: the sizes AH
+     picks minimize the model's objective among its own candidates, so
+     predicted misses for the AH tile must match misses_per_tile of the
+     equivalent rectangular tile. *)
+  let nest = Loopart.Programs.example8 ~n:60 () in
+  match Abraham_hudak.partition nest ~nprocs:8 with
+  | Error e -> Alcotest.failf "AH failed: %s" e
+  | Ok ah ->
+      let cost = Partition.Cost.of_nest nest in
+      let tile = Partition.Tile.rect ah.Abraham_hudak.sizes in
+      let predicted = Partition.Cost.misses_per_tile cost tile in
+      checkb "prediction positive" true (predicted > 0);
+      let ours = Partition.Rectangular.optimize cost ~nprocs:8 in
+      check "identical tile, identical prediction"
+        (Partition.Cost.misses_per_tile cost ours.Partition.Rectangular.tile)
+        predicted
+
 let () =
   Alcotest.run "baselines"
     [
@@ -192,5 +286,14 @@ let () =
             test_rs_self_sharing_projection;
           Alcotest.test_case "simulator confirms" `Quick
             test_rs_simulator_confirms_comm_free;
+        ] );
+      ( "gallery vs cost model",
+        [
+          Alcotest.test_case "AH never beats the optimizer" `Quick
+            test_ah_never_beats_optimizer;
+          Alcotest.test_case "RS slabs coherence-free and dominated" `Quick
+            test_rs_comm_free_confirmed_on_gallery;
+          Alcotest.test_case "AH tile prediction consistent" `Quick
+            test_ah_cost_model_sees_the_spread;
         ] );
     ]

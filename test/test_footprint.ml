@@ -234,6 +234,41 @@ let test_rect_cumulative_exact_vs_brute () =
   check "lemma-3 exact equals brute force" brute
     (Size.rect_cumulative ~exact:true ~lambda ~g ~spread:[| 4; 4 |])
 
+let test_rect_cumulative_exact_rank_deficient () =
+  (* Regression, found by the differential fuzzer's exhaustive probe:
+     with a rank-deficient reduced G the exact:true engine used to fall
+     back to the Theorem 4 linearization, which is badly wrong at
+     degenerate tiles.  A trip-count-1 tile (lambda = 0) with two
+     coinciding references through G = [[2],[-2]] touches exactly 1
+     element, yet the linearized form reported 3; offsets one apart
+     reported up to 7 for a true union of 2. *)
+  let g = Imat.of_rows [ [ 2 ]; [ -2 ] ] in
+  let check_pair o1 o2 lambda =
+    let r1 = Affine.make g o1 and r2 = Affine.make g o2 in
+    let iters = Exact.rect_tile_iterations ~lambda in
+    let brute = Exact.cumulative_footprint_size ~iterations:iters [ r1; r2 ] in
+    let spread = Array.map abs (Array.map2 ( - ) o2 o1) in
+    check
+      (Printf.sprintf "G=[[2],[-2]] o1=%d o2=%d lambda=(%d,%d)" o1.(0) o2.(0)
+         lambda.(0) lambda.(1))
+      brute
+      (Size.rect_cumulative ~exact:true ~lambda ~g ~spread)
+  in
+  (* zero spread on a single-iteration tile: must equal the single
+     footprint of 1 *)
+  check_pair [| -2 |] [| -2 |] [| 0; 0 |];
+  (* lattice-intersecting translate, still one iteration *)
+  check_pair [| 0 |] [| 2 |] [| 0; 0 |];
+  (* and on a small non-degenerate tile *)
+  check_pair [| 0 |] [| 2 |] [| 2; 1 |];
+  (* zero spread must always agree with rect_single, rank-deficient or
+     not *)
+  let g2 = Imat.of_rows [ [ 2; 2 ]; [ 2; 2 ] ] in
+  check "spread 0 equals single (rank-1 2x2)"
+    (Size.rect_single ~lambda:[| 0; 2 |] ~g:g2)
+    (Size.rect_cumulative ~exact:true ~lambda:[| 0; 2 |] ~g:g2
+       ~spread:[| 0; 0 |])
+
 let test_rect_cumulative_poly_examples () =
   let names = [| "xi"; "xj"; "xk" |] in
   let pname k = names.(k) in
@@ -776,6 +811,8 @@ let () =
             test_rect_cumulative_example2;
           Alcotest.test_case "lemma 3 vs brute force" `Quick
             test_rect_cumulative_exact_vs_brute;
+          Alcotest.test_case "exact union for rank-deficient G" `Quick
+            test_rect_cumulative_exact_rank_deficient;
           Alcotest.test_case "polynomials of examples 8/10" `Quick
             test_rect_cumulative_poly_examples;
           Alcotest.test_case "figure 9 traffic polynomial" `Quick

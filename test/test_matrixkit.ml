@@ -333,6 +333,53 @@ let prop_solve_left_int_sound =
       | None -> false
       | Some x -> Ivec.equal (Imat.mul_row x g) b)
 
+let prop_hnf_preserves_lattice =
+  QCheck2.Test.make ~name:"HNF preserves the row lattice" ~count:300
+    (gen_mat 3) (fun g ->
+      let h, _ = Hnf.row_hnf g in
+      (* Mutual containment: every row of H lies in the lattice spanned
+         by the rows of G, and vice versa - the two lattices coincide. *)
+      let rows_in a b =
+        let ok = ref true in
+        for i = 0 to Imat.rows a - 1 do
+          if not (Hnf.mem_row_lattice b (Imat.row a i)) then ok := false
+        done;
+        !ok
+      in
+      rows_in h g && rows_in g h)
+
+let prop_hnf_preserves_det =
+  QCheck2.Test.make ~name:"HNF preserves |det|" ~count:300 (gen_mat 3)
+    (fun g ->
+      let h, _ = Hnf.row_hnf g in
+      abs (Imat.det h) = abs (Imat.det g))
+
+let prop_snf_preserves_det =
+  QCheck2.Test.make ~name:"SNF invariant factors multiply to |det|" ~count:200
+    (gen_mat 3) (fun a ->
+      let factors = Snf.invariant_factors a in
+      if Imat.rank a < 3 then
+        (* Rank-deficient: det is 0 and the factor list is short. *)
+        Imat.det a = 0 && List.length factors = Imat.rank a
+      else List.fold_left ( * ) 1 factors = abs (Imat.det a))
+
+let prop_snf_preserves_lattice =
+  QCheck2.Test.make ~name:"SNF row ops preserve the row lattice" ~count:200
+    (gen_mat 3) (fun a ->
+      (* S = U A V with U, V unimodular: U A spans the same row lattice
+         as A (left-multiplication by a unimodular matrix is a change of
+         basis for the rows). *)
+      let _, u, _ = Snf.smith a in
+      let ua = Imat.mul u a in
+      let rows_in x y =
+        let ok = ref true in
+        for i = 0 to Imat.rows x - 1 do
+          if not (Hnf.mem_row_lattice y (Imat.row x i)) then ok := false
+        done;
+        !ok
+      in
+      rows_in ua a && rows_in a ua)
+
 let prop_snf_invariants =
   QCheck2.Test.make ~name:"SNF: s = u a v, diagonal, divisibility" ~count:200
     (gen_mat 3) (fun a ->
@@ -415,8 +462,12 @@ let props =
       prop_det_qmat_agrees;
       prop_hnf_invariants;
       prop_hnf_rank_preserved;
+      prop_hnf_preserves_lattice;
+      prop_hnf_preserves_det;
       prop_solve_left_int_sound;
       prop_snf_invariants;
+      prop_snf_preserves_det;
+      prop_snf_preserves_lattice;
       prop_lemma3_union;
       prop_theorem3_brute;
       prop_pmat_det_matches_numeric;

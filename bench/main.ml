@@ -864,6 +864,120 @@ let e20 () =
   pf " grid per processor - the introduction's case for compile-time tiles)@."
 
 (* ------------------------------------------------------------------ *)
+(* E21: fault-tolerance tax - heartbeat/watchdog overhead on a         *)
+(* fault-free run, and recovery latency under injected faults          *)
+(* ------------------------------------------------------------------ *)
+
+let e21 () =
+  header "E21"
+    "Fault-tolerance: watchdog overhead (fault-free) and recovery latency";
+  let open Loopart in
+  let nest = Programs.stencil5 ~n:65 () in
+  let nprocs = 8 and steps = 2 and reps = 3 in
+  let a = Driver.analyze ~nprocs nest in
+  let exec_config =
+    { Driver.default_exec_config with Driver.steps = Some steps }
+  in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      best := Float.min !best (f ())
+    done;
+    !best
+  in
+  (* Baseline: the plain runtime on the same tiled work-stealing queues,
+     one full job including domain spawn and operand allocation - the
+     same costs the resilient wall clock carries. *)
+  let compiled = Runtime.Exec.compile nest in
+  let sched = Driver.schedule a in
+  let work =
+    Runtime.Exec.queues_of_assignment (Scheduling.of_schedule sched) ~chunk:1
+  in
+  let plain =
+    min_of (fun () ->
+        let t0 = Unix.gettimeofday () in
+        Runtime.Pool.with_pool nprocs (fun pool ->
+            ignore (Runtime.Exec.time pool compiled work ~steps ~repeats:1));
+        Unix.gettimeofday () -. t0)
+  in
+  let resilient ?plan () =
+    let plan =
+      Option.map
+        (fun s ->
+          match Runtime.Fault.of_string s with
+          | Ok p -> p
+          | Error e -> invalid_arg e)
+        plan
+    in
+    Driver.execute_resilient ~config:exec_config
+      ~resilience:
+        { Runtime.Resilient.default_config with Runtime.Resilient.deadline_ms = 100 }
+      ?plan a
+    |> fst
+  in
+  let wall (r : Runtime.Report.t) = r.Runtime.Report.total_wall_seconds in
+  let fault_free = min_of (fun () -> wall (resilient ())) in
+  let overhead_pct = 100.0 *. ((fault_free /. plain) -. 1.0) in
+  pf "stencil5 n=65, P=%d, %d steps (best of %d full jobs incl. spawn)@."
+    nprocs steps reps;
+  pf "  plain runtime            %8.2f ms@." (1e3 *. plain);
+  pf "  resilient, no faults     %8.2f ms  (overhead %+.1f%%, target < 5%%)@."
+    (1e3 *. fault_free) overhead_pct;
+  let crash = resilient ~plan:"crash" () in
+  let crash_extra = wall crash -. fault_free in
+  pf "  one crash, tile recovery %8.2f ms  (+%.2f ms, %d tile(s) re-executed, \
+      completed %b, covered once %b)@."
+    (1e3 *. wall crash) (1e3 *. crash_extra)
+    (Runtime.Report.reexecuted_tiles crash)
+    crash.Runtime.Report.completed crash.Runtime.Report.covered_exactly_once;
+  let stall = resilient ~plan:"stall:10000" () in
+  let detect =
+    match stall.Runtime.Report.attempts with
+    | first :: _ -> first.Runtime.Report.wall_seconds
+    | [] -> nan
+  in
+  pf "  10 s stall, 100 ms deadline: detected in %.2f ms, job completed %b \
+      in %.2f ms@."
+    (1e3 *. detect) stall.Runtime.Report.completed (1e3 *. wall stall);
+  (* Machine-readable trail for the perf trajectory. *)
+  let oc = open_out "BENCH_resilience.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (String.concat ""
+           [
+             "[\n";
+             Printf.sprintf
+               "  {\"experiment\": \"E21\", \"scenario\": \"plain\", \
+                \"nprocs\": %d, \"steps\": %d, \"wall_seconds\": %.6g},\n"
+               nprocs steps plain;
+             Printf.sprintf
+               "  {\"experiment\": \"E21\", \"scenario\": \
+                \"resilient-fault-free\", \"nprocs\": %d, \"steps\": %d, \
+                \"wall_seconds\": %.6g, \"overhead_pct\": %.2f},\n"
+               nprocs steps fault_free overhead_pct;
+             Printf.sprintf
+               "  {\"experiment\": \"E21\", \"scenario\": \"resilient-crash\", \
+                \"nprocs\": %d, \"steps\": %d, \"wall_seconds\": %.6g, \
+                \"recovery_extra_seconds\": %.6g, \"tiles_reexecuted\": %d, \
+                \"completed\": %b, \"covered_exactly_once\": %b},\n"
+               nprocs steps (wall crash) crash_extra
+               (Runtime.Report.reexecuted_tiles crash)
+               crash.Runtime.Report.completed
+               crash.Runtime.Report.covered_exactly_once;
+             Printf.sprintf
+               "  {\"experiment\": \"E21\", \"scenario\": \"resilient-stall\", \
+                \"nprocs\": %d, \"steps\": %d, \"deadline_ms\": 100, \
+                \"detect_seconds\": %.6g, \"wall_seconds\": %.6g, \
+                \"completed\": %b}\n"
+               nprocs steps detect (wall stall)
+               stall.Runtime.Report.completed;
+             "]\n";
+           ]));
+  pf "@.wrote resilience measurements to BENCH_resilience.json@."
+
+(* ------------------------------------------------------------------ *)
 (* E13: Bechamel timings of the analysis itself                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -943,6 +1057,7 @@ let experiments =
     ("E18", e18);
     ("E19", e19);
     ("E20", e20);
+    ("E21", e21);
   ]
 
 let () =

@@ -46,9 +46,14 @@ let skewed_arg =
   let doc = "Also try general parallelepiped (skewed) tiles." in
   Arg.(value & flag & info [ "skewed" ] ~doc)
 
+(* Every expected failure - unparsable or truncated nest files, bad
+   sites in a fault plan, impossible configurations - becomes a one-line
+   diagnostic and exit code 2 (see the eval wrapper at the bottom),
+   never a backtrace. *)
 let wrap f = try Ok (f ()) with
   | Loopir.Parse.Parse_error msg -> Error (`Msg msg)
-  | Invalid_argument msg -> Error (`Msg msg)
+  | Invalid_argument msg | Failure msg | Sys_error msg -> Error (`Msg msg)
+  | End_of_file -> Error (`Msg "unexpected end of file (truncated input?)")
 
 let list_cmd =
   let array_summary nest =
@@ -225,7 +230,60 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "validate" ] ~doc)
   in
-  let run source nprocs skewed policy repeats steps bigarray validate =
+  let fault_plan_arg =
+    let parse s =
+      match Runtime.Fault.of_string s with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg e)
+    in
+    let doc =
+      "Inject faults at chosen sites and run under the fault-tolerant \
+       runtime.  $(docv) is a $(b,;)-separated list of \
+       ACTION[@[dD][sS][cC]] where ACTION is $(b,crash), $(b,stall:MS) or \
+       $(b,corrupt); an omitted dD fires on any domain, step defaults to \
+       1, claim to 0 (e.g. $(b,crash;stall:250@s2))."
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, Runtime.Fault.pp))) None
+      & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+  in
+  let fault_policy_arg =
+    let parse s =
+      match Runtime.Resilient.policy_of_string s with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf p =
+      Format.pp_print_string ppf (Runtime.Resilient.policy_to_string p)
+    in
+    let doc =
+      "Recovery policy for the fault-tolerant runtime: $(b,fail-fast), \
+       $(b,retry[:ATTEMPTS[:BACKOFF_MS]]) or $(b,degrade).  Implies a \
+       resilient run even without $(b,--fault-plan)."
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "fault-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Watchdog deadline: a domain whose heartbeat is silent this long is \
+       declared timed out (resilient runs only)."
+    in
+    Arg.(value & opt int 1000 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let report_json_arg =
+    let doc =
+      "Write the structured resilience report as JSON to $(docv).  Implies \
+       a resilient run."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "report-json" ] ~docv:"FILE" ~doc)
+  in
+  let run source nprocs skewed policy repeats steps bigarray validate
+      fault_plan fault_policy deadline_ms report_json =
     wrap (fun () ->
         let nest = load source in
         let a = Loopart.Driver.analyze ~try_skewed:skewed ~nprocs nest in
@@ -241,8 +299,41 @@ let run_cmd =
             bigarray;
           }
         in
-        let report = Loopart.Driver.execute ~config ~tile a in
-        Format.printf "%a@." Runtime.Measure.pp_report report;
+        let resilient =
+          fault_plan <> None || fault_policy <> None || report_json <> None
+        in
+        if resilient then begin
+          let resilience =
+            {
+              Runtime.Resilient.default_config with
+              Runtime.Resilient.deadline_ms;
+              policy =
+                Option.value
+                  ~default:
+                    Runtime.Resilient.default_config.Runtime.Resilient.policy
+                  fault_policy;
+            }
+          in
+          let report, _buffer =
+            Loopart.Driver.execute_resilient ~config ~resilience
+              ?plan:fault_plan ~tile a
+          in
+          Format.printf "%a@." Runtime.Report.pp report;
+          (match report_json with
+          | Some file ->
+              let oc = open_out file in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc (Runtime.Report.to_json report));
+              Format.printf "report written to %s@." file
+          | None -> ());
+          if not report.Runtime.Report.completed then
+            failwith "resilient run did not complete (see report above)"
+        end
+        else begin
+          let report = Loopart.Driver.execute ~config ~tile a in
+          Format.printf "%a@." Runtime.Measure.pp_report report
+        end;
         if validate then
           Format.printf "%a@." Runtime.Validate.pp
             (Loopart.Driver.validate ~tile a))
@@ -252,11 +343,13 @@ let run_cmd =
        ~doc:
          "Execute the partitioned nest for real on OCaml domains and report \
           per-domain time, iterations and measured footprints against the \
-          model's prediction")
+          model's prediction; with $(b,--fault-plan)/$(b,--fault-policy), \
+          run under the fault-tolerant runtime instead")
     Term.(
       term_result
         (const run $ source_arg $ nprocs_arg $ skewed_arg $ policy_arg
-       $ repeats_arg $ steps_arg $ bigarray_arg $ validate_arg))
+       $ repeats_arg $ steps_arg $ bigarray_arg $ validate_arg
+       $ fault_plan_arg $ fault_policy_arg $ deadline_arg $ report_json_arg))
 
 let evaluate_cmd =
   let run source nprocs =
@@ -453,4 +546,9 @@ let main =
   Cmd.group (Cmd.info "loopartc" ~version:"1.0.0" ~doc)
     [ list_cmd; show_cmd; analyze_cmd; simulate_cmd; run_cmd; codegen_cmd; evaluate_cmd; sweep_cmd; fuzz_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* One-line diagnostics (term_result errors) and command-line misuse
+     both exit 2, so scripts and CI can distinguish "the input or flags
+     were bad" from a crash. *)
+  let code = Cmd.eval main in
+  exit (match code with 123 | 124 -> 2 | c -> c)

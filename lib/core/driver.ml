@@ -116,6 +116,25 @@ let execute ?(config = default_exec_config) ?tile a =
     ~total_elements:(Runtime.Exec.total_elements compiled)
     ?predicted_per_domain:predicted raw
 
+let execute_resilient ?(config = default_exec_config)
+    ?(resilience = Runtime.Resilient.default_config) ?plan ?tile a =
+  let nest = a.nest in
+  let compiled = Runtime.Exec.compile ~bigarray:config.bigarray nest in
+  let steps = Runtime.Exec.steps_of_nest ?override:config.steps nest in
+  let chosen = Option.value ~default:(best_tile a) tile in
+  let partition ~nprocs =
+    let tile =
+      if nprocs = a.nprocs then chosen
+      else
+        (* Degraded pool: re-optimize the partition for the smaller
+           machine instead of squeezing the old tile onto it. *)
+        (Rectangular.optimize a.cost ~nprocs).Rectangular.tile
+    in
+    Runtime.Resilient.tiles_of_schedule (Codegen.make nest tile ~nprocs)
+  in
+  Runtime.Resilient.execute ~config:resilience ?plan ~compiled ~steps
+    ~partition ~nprocs:a.nprocs ()
+
 let validate ?tile a = Runtime.Validate.check_schedule (schedule ?tile a)
 
 let simulate_aligned ?tile ?(geometry = Cache.Infinite) a =

@@ -71,6 +71,20 @@ val execute :
     wall-clock, iterations and distinct-elements footprints, alongside
     the Theorem 2/4 prediction when the policy is [Tiled]. *)
 
+val execute_resilient :
+  ?config:exec_config ->
+  ?resilience:Runtime.Resilient.config ->
+  ?plan:Runtime.Fault.plan ->
+  ?tile:Tile.t ->
+  analysis ->
+  Runtime.Report.t * float array
+(** Execute the nest under the fault-tolerant runtime ({!Runtime.Resilient}):
+    watchdog timeouts, tile-level crash recovery and policy-driven
+    retry/degradation.  [plan] injects faults for testing; when degrading
+    shrinks the pool, the partition is re-optimized for the smaller
+    processor count.  [config.repeats] and [config.footprint] are
+    ignored (a resilient run is a single monitored execution). *)
+
 val validate : ?tile:Tile.t -> analysis -> Runtime.Validate.verdict
 (** Run the tiled schedule through both {!Machine.Sim} and the runtime
     and check write-race freedom, footprint agreement and value

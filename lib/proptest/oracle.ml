@@ -382,6 +382,93 @@ let check_optimizer (c : Gen.case) =
       else None
 
 (* ------------------------------------------------------------------ *)
+(* Oracle 6: the resilient runtime recovers from injected faults       *)
+(* ------------------------------------------------------------------ *)
+
+(* Value comparison against the sequential reference is only meaningful
+   when the nest is order-insensitive: idempotent tiles (no read of a
+   written address, no accumulates) and no two iterations writing the
+   same element.  Work stealing and orphan re-execution reorder tiles,
+   so a conflicting pair would differ from lexicographic order even
+   without faults. *)
+let writes_conflict_free (c : Gen.case) =
+  let seen = Hashtbl.create 256 in
+  let ok = ref true in
+  List.iter
+    (fun pt ->
+      List.iter
+        (fun (r : Reference.t) ->
+          if Reference.is_write_like r then begin
+            let key =
+              (r.Reference.array_name,
+               Array.to_list (Affine.apply r.Reference.index pt))
+            in
+            if Hashtbl.mem seen key then ok := false
+            else Hashtbl.add seen key ()
+          end)
+        c.nest.Nest.body)
+    (space_points c.nest);
+  !ok
+
+let check_resilient (c : Gen.case) =
+  (* Each scenario spawns pools of its own (one per attempt), so only a
+     2% sample of cases pays for it. *)
+  let scenario =
+    if c.id mod 50 = 0 then Some `Crash
+    else if c.id mod 50 = 25 && c.nprocs >= 2 then Some `Stall
+    else None
+  in
+  match scenario with
+  | None -> None
+  | Some kind ->
+      let compiled = Exec.compile c.nest in
+      let steps = Exec.steps_of_nest c.nest in
+      let partition ~nprocs =
+        Resilient.tiles_of_schedule
+          (Codegen.make c.nest (Tile.rect c.tile) ~nprocs)
+      in
+      let plan_str, deadline_ms =
+        (* The stall far exceeds the deadline: completion proves the
+           watchdog (not patience) resolved it. *)
+        match kind with `Crash -> ("crash", 10_000) | `Stall -> ("stall:2000", 100)
+      in
+      let plan =
+        match Fault.of_string plan_str with
+        | Ok p -> p
+        | Error e -> invalid_arg e
+      in
+      let config =
+        {
+          Resilient.policy = Resilient.Retry { attempts = 3; backoff_ms = 1 };
+          deadline_ms;
+          stall_poll_ms = 2;
+        }
+      in
+      let report, buffer =
+        Resilient.execute ~config ~plan ~compiled ~steps ~partition
+          ~nprocs:c.nprocs ()
+      in
+      if not report.Report.completed then
+        fail "resilient-recovery" "%s under retry did not complete: %s"
+          plan_str
+          (match List.rev report.Report.attempts with
+          | { Report.outcome = Report.Failed r; _ } :: _ -> r
+          | _ -> "no failure reason")
+      else if kind = `Stall && Report.timed_out_count report = 0 then
+        fail "resilient-recovery"
+          "2000 ms stall under a 100 ms deadline completed without a \
+           Timed_out event"
+      else if
+        Exec.reexecution_safe compiled && writes_conflict_free c
+        && buffer <> Exec.sequential compiled ~steps
+      then
+        fail "resilient-recovery"
+          "recovered buffer differs from the sequential reference (%s, %d \
+           procs, tile %s)"
+          plan_str c.nprocs (ivec_str c.tile)
+      else None
+
+(* ------------------------------------------------------------------ *)
 (* Putting it together                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -412,6 +499,7 @@ let check ~fault ~pools (c : Gen.case) =
         (fun () -> check_runtime ~pools c (Lazy.force sim) per_proc);
         (fun () -> check_relabel c (Lazy.force sim) per_proc);
         (fun () -> check_optimizer c);
+        (fun () -> check_resilient c);
       ]
   with e ->
     Some

@@ -144,6 +144,62 @@ let exec_point c storage =
   | Flat data -> fun p -> exec_flat c data p
   | Big data -> fun p -> exec_big c data p
 
+let poke storage a v =
+  match storage with
+  | Flat data -> data.(a) <- v
+  | Big data -> Bigarray.Array1.set data a v
+
+let plain_write_addresses c (p : int array) =
+  Array.to_list c.writes
+  |> List.filter_map (fun (r, accumulate) ->
+         if accumulate then None else Some (addr r p))
+
+(* Tiles are idempotent - re-executable after a partial or duplicated
+   run - iff no iteration of the Doall body reads an address the body
+   writes (self- or cross-iteration) and no write accumulates.  Then
+   every write's value is a function of never-written operands only, so
+   re-running any subset of iterations in any order reproduces the same
+   final buffer. *)
+let reexecution_safe c =
+  Array.for_all (fun (_, accumulate) -> not accumulate) c.writes
+  && (Array.length c.writes = 0
+     ||
+     let bounds = Nest.bounds c.nest in
+     let n = Array.length bounds in
+     let point = Array.make n 0 in
+     let written = Hashtbl.create 4096 in
+     let rec scan_writes k =
+       if k = n then
+         Array.iter
+           (fun (r, _) -> Hashtbl.replace written (addr r point) ())
+           c.writes
+       else
+         let lo, hi = bounds.(k) in
+         for v = lo to hi do
+           point.(k) <- v;
+           scan_writes (k + 1)
+         done
+     in
+     scan_writes 0;
+     let clash = ref false in
+     let rec scan_reads k =
+       if !clash then ()
+       else if k = n then
+         Array.iter
+           (fun r -> if Hashtbl.mem written (addr r point) then clash := true)
+           c.reads
+       else
+         let lo, hi = bounds.(k) in
+         for v = lo to hi do
+           if not !clash then begin
+             point.(k) <- v;
+             scan_reads (k + 1)
+           end
+         done
+     in
+     scan_reads 0;
+     not !clash)
+
 (* The instrumented body additionally records every element address in
    the domain's touched set. *)
 let observe_point c touched =

@@ -33,6 +33,40 @@ val address : compiled -> Reference.t -> Ivec.t -> int
     iteration.  Partial application compiles the reference once, so
     validation loops should apply it to the reference first. *)
 
+(** {2 Raw storage access}
+
+    The resilient executor ({!Resilient}) drives tiles itself instead of
+    going through {!measure}/{!time}, so it needs the operand buffer and
+    the per-point body as first-class values. *)
+
+type storage
+
+val alloc : compiled -> storage
+(** Fresh operands with the deterministic initial values every execution
+    path (including {!sequential}) starts from. *)
+
+val exec_point : compiled -> storage -> Ivec.t -> unit
+(** The loop body at one iteration point.  Partial application to the
+    storage compiles the dispatch once. *)
+
+val checksum : storage -> float
+val to_float_array : storage -> float array
+
+val poke : storage -> int -> float -> unit
+(** Overwrite one element - the corruption the [Corrupt] fault injects. *)
+
+val plain_write_addresses : compiled -> Ivec.t -> int list
+(** Addresses stored through non-accumulate writes at an iteration (the
+    safe targets for an injected corruption: re-executing the iteration
+    restores them). *)
+
+val reexecution_safe : compiled -> bool
+(** Whether tiles of this nest are idempotent: no iteration of the Doall
+    body reads an address the body writes, and no write accumulates.
+    Exactly then a partially executed or duplicated tile can be re-run
+    (by any domain, any number of times) without changing the final
+    buffer - the precondition for tile-level crash recovery. *)
+
 type work =
   | Static of Ivec.t array array
       (** per-domain iteration arrays, fixed at compile time (the

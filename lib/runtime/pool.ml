@@ -1,11 +1,16 @@
 exception Aborted
 
-(* Spin with backoff: on an oversubscribed host (more domains than
-   cores) a pure spin waits out whole scheduling quanta, so after a
-   bounded number of relaxes we sleep and let the OS run the domains we
-   are waiting for. *)
+(* Spin with capped exponential backoff: on an oversubscribed host
+   (more domains than cores) a pure spin waits out whole scheduling
+   quanta, so after a bounded number of relaxes we yield, then sleep
+   increasingly long - capped so a waiter still polls often enough for
+   abort flags and watchdog checks to stay responsive. *)
 let backoff spins =
-  if spins < 512 then Domain.cpu_relax () else Unix.sleepf 0.000_05
+  if spins < 64 then Domain.cpu_relax ()
+  else if spins < 512 then Unix.sleepf 0.0 (* sched_yield: give up the quantum *)
+  else
+    let k = min ((spins - 512) / 64) 5 in
+    Unix.sleepf (0.000_05 *. float_of_int (1 lsl k))
 
 module Barrier = struct
   type b = {

@@ -17,6 +17,14 @@
 
 type t
 
+val backoff : int -> unit
+(** Wait-loop backoff step, parameterized by the number of failed polls
+    so far: a few [Domain.cpu_relax]es, then yields, then sleeps that
+    double up to a 1.6 ms cap.  The cap keeps oversubscribed waiters
+    responsive: a parked domain still wakes often enough to service
+    abort flags and run watchdog checks ({!Resilient}).  Reset the
+    counter whenever the poll makes progress. *)
+
 val create : int -> t
 (** Spawn a pool of [n >= 1] domains.  Domains may exceed the physical
     core count; the barrier spins with exponential backoff so

@@ -1,0 +1,576 @@
+open Matrixkit
+
+type policy =
+  | Fail_fast
+  | Retry of { attempts : int; backoff_ms : int }
+  | Degrade
+
+let policy_to_string = function
+  | Fail_fast -> "fail-fast"
+  | Retry { attempts; backoff_ms } ->
+      Printf.sprintf "retry:%d:%d" attempts backoff_ms
+  | Degrade -> "degrade"
+
+let default_retry = Retry { attempts = 3; backoff_ms = 25 }
+
+let policy_of_string s =
+  let pos_int v = match int_of_string_opt v with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None
+  in
+  match String.split_on_char ':' s with
+  | [ "fail-fast" ] | [ "failfast" ] -> Ok Fail_fast
+  | [ "degrade" ] -> Ok Degrade
+  | [ "retry" ] -> Ok default_retry
+  | [ "retry"; a ] -> (
+      match pos_int a with
+      | Some attempts -> Ok (Retry { attempts; backoff_ms = 25 })
+      | None -> Error "retry:ATTEMPTS needs ATTEMPTS >= 1")
+  | [ "retry"; a; b ] -> (
+      match (pos_int a, int_of_string_opt b) with
+      | Some attempts, Some backoff_ms when backoff_ms >= 0 ->
+          Ok (Retry { attempts; backoff_ms })
+      | _ -> Error "retry:ATTEMPTS:BACKOFF_MS needs ATTEMPTS >= 1, BACKOFF_MS >= 0")
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown fault policy %S (fail-fast | retry[:N[:MS]] | degrade)" s)
+
+type config = { policy : policy; deadline_ms : int; stall_poll_ms : int }
+
+let default_config =
+  { policy = default_retry; deadline_ms = 1000; stall_poll_ms = 5 }
+
+type partitioned = {
+  nprocs : int;
+  tiles : Ivec.t array array;
+  owners : int array;
+}
+
+let tiles_of_schedule sched =
+  let open Partition in
+  let nprocs = sched.Codegen.nprocs in
+  let per_proc = Codegen.iterations_by_proc sched in
+  let tbl = Hashtbl.create 64 in
+  let rev_keys = ref [] in
+  Array.iteri
+    (fun p pts ->
+      List.iter
+        (fun pt ->
+          let key = (p, Array.to_list (Codegen.tile_id sched pt)) in
+          match Hashtbl.find_opt tbl key with
+          | Some cell -> cell := pt :: !cell
+          | None ->
+              Hashtbl.add tbl key (ref [ pt ]);
+              rev_keys := key :: !rev_keys)
+        pts)
+    per_proc;
+  let keys = Array.of_list (List.rev !rev_keys) in
+  {
+    nprocs;
+    tiles = Array.map (fun k -> Array.of_list (List.rev !(Hashtbl.find tbl k))) keys;
+    owners = Array.map fst keys;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-attempt machinery                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Injected_crash
+exception Injected_corruption
+
+(* Internal control flow, never escapes [execute]. *)
+exception Retired  (* this domain is dead; unwind its step loop *)
+exception Halt  (* the attempt was aborted; unwind quietly *)
+
+(* The end-of-step gate: a mutex-protected dynamic barrier.  [parties]
+   shrinks when a domain retires; the release condition additionally
+   demands the orphan list empty and no arrived domain busy re-executing
+   an orphan, so a step never ends with work outstanding.  Waiters poll
+   [epoch] with {!Pool.backoff} (no condition variable: they must keep
+   servicing orphans and running the watchdog while they wait). *)
+type gate = {
+  m : Mutex.t;
+  epoch : int Atomic.t;  (** completed steps; step [s] released when >= s *)
+  aborted : bool Atomic.t;
+  mutable parties : int;  (** live domains *)
+  mutable arrived : int;  (** live domains waiting at the gate *)
+  mutable busy : int;  (** arrived domains currently running an orphan *)
+  entered : int array;  (** last step each domain arrived for *)
+  dead : bool array;
+  mutable orphans : int list;  (** tile ids awaiting re-execution *)
+  mutable failure : string option;
+  mutable events_rev : Report.event list;
+  mutable retired : int list;
+  mutable reexec_step : int;
+  mutable reexec_total : int;
+  mutable cover_ok : bool;
+}
+
+type ctx = {
+  cfg : config;
+  plan : Fault.plan;
+  storage : Exec.storage;
+  run_point : Ivec.t -> unit;
+  plain_writes : Ivec.t -> int list;
+  steps : int;
+  recover : bool;  (** tile-level crash recovery enabled *)
+  tiles : Ivec.t array array;
+  queue_tiles : int array array;  (** domain -> tile ids in its deque *)
+  deques : Pool.Deques.d;
+  hb : int Atomic.t array;  (** per-domain heartbeat: tiles completed *)
+  done_count : int Atomic.t array;  (** per-tile completions this step *)
+  g : gate;
+}
+
+type dstate = { me : int; mutable claims : int }
+
+let now () = Unix.gettimeofday ()
+
+let locked g f =
+  Mutex.lock g.m;
+  match f () with
+  | v ->
+      Mutex.unlock g.m;
+      v
+  | exception e ->
+      Mutex.unlock g.m;
+      raise e
+
+let record g e = g.events_rev <- e :: g.events_rev
+
+(* Called under the gate lock. *)
+let do_release ctx ~step =
+  let g = ctx.g in
+  for t = 0 to Array.length ctx.tiles - 1 do
+    if Atomic.get ctx.done_count.(t) <> 1 then g.cover_ok <- false;
+    Atomic.set ctx.done_count.(t) 0
+  done;
+  if g.reexec_step > 0 then begin
+    record g (Report.Tiles_reexecuted { count = g.reexec_step; step });
+    g.reexec_total <- g.reexec_total + g.reexec_step;
+    g.reexec_step <- 0
+  end;
+  Pool.Deques.reset ctx.deques;
+  g.arrived <- 0;
+  Atomic.set g.epoch step
+
+let try_release ctx ~step =
+  let g = ctx.g in
+  if
+    g.parties > 0 && g.arrived >= g.parties && g.busy = 0 && g.orphans = []
+    && (not (Atomic.get g.aborted))
+    && Atomic.get g.epoch < step
+  then do_release ctx ~step
+
+let abort_locked g ~reason =
+  if not (Atomic.get g.aborted) then begin
+    g.failure <- Some reason;
+    Atomic.set g.aborted true
+  end
+
+let interruptible_stall ctx ms =
+  let slice = float_of_int (max 1 ctx.cfg.stall_poll_ms) /. 1000.0 in
+  let until = now () +. (float_of_int ms /. 1000.0) in
+  let rec loop () =
+    if Atomic.get ctx.g.aborted then raise Halt;
+    let remain = until -. now () in
+    if remain > 0.0 then begin
+      Unix.sleepf (Float.min slice remain);
+      loop ()
+    end
+  in
+  loop ()
+
+let corrupt_target ctx t =
+  let pts = ctx.tiles.(t) in
+  let rec go i =
+    if i >= Array.length pts then None
+    else
+      match ctx.plain_writes pts.(i) with
+      | a :: _ -> Some a
+      | [] -> go (i + 1)
+  in
+  go 0
+
+let run_tile ctx ds ~step t =
+  let g = ctx.g in
+  let claim = ds.claims in
+  ds.claims <- ds.claims + 1;
+  (match Fault.fire ctx.plan ~domain:ds.me ~step ~claim with
+  | None -> ()
+  | Some action ->
+      locked g (fun () ->
+          record g (Report.Injected { action; domain = ds.me; step }));
+      (match action with
+      | Fault.Crash -> raise Injected_crash
+      | Fault.Corrupt ->
+          (match corrupt_target ctx t with
+          | Some a -> Exec.poke ctx.storage a Float.nan
+          | None -> ());
+          raise Injected_corruption
+      | Fault.Stall ms -> interruptible_stall ctx ms));
+  if Atomic.get g.aborted then raise Halt;
+  let pts = ctx.tiles.(t) in
+  for i = 0 to Array.length pts - 1 do
+    ctx.run_point (Array.unsafe_get pts i)
+  done;
+  Atomic.incr ctx.done_count.(t);
+  Atomic.incr ctx.hb.(ds.me)
+
+(* A worker exception while holding tile [t].  With tile-level recovery
+   the domain retires and orphans the tile - it has provably stopped
+   executing, so a survivor can re-run the tile without write races.
+   Without recovery (non-idempotent tiles, or Fail_fast) the whole
+   attempt aborts. *)
+let crashed ctx ds ~step ~tile ~was_busy exn_str =
+  let g = ctx.g in
+  if ctx.recover then begin
+    locked g (fun () ->
+        if was_busy then g.busy <- g.busy - 1;
+        g.orphans <- tile :: g.orphans;
+        g.dead.(ds.me) <- true;
+        g.parties <- g.parties - 1;
+        if was_busy then g.arrived <- g.arrived - 1;
+        g.retired <- ds.me :: g.retired;
+        record g (Report.Crashed { domain = ds.me; step; exn = exn_str });
+        try_release ctx ~step);
+    raise Retired
+  end
+  else begin
+    locked g (fun () ->
+        if was_busy then g.busy <- g.busy - 1;
+        record g (Report.Crashed { domain = ds.me; step; exn = exn_str });
+        abort_locked g
+          ~reason:
+            (Printf.sprintf "domain %d crashed at step %d: %s" ds.me step
+               exn_str));
+    raise Halt
+  end
+
+let drain ctx ds ~step =
+  let continue_ = ref true in
+  while !continue_ do
+    if Atomic.get ctx.g.aborted then raise Halt;
+    match Pool.Deques.pop ctx.deques ~me:ds.me ~chunk:1 with
+    | None -> continue_ := false
+    | Some (owner, lo, _hi) ->
+        let t = ctx.queue_tiles.(owner).(lo) in
+        (try run_tile ctx ds ~step t with
+        | Halt -> raise Halt
+        | exn ->
+            crashed ctx ds ~step ~tile:t ~was_busy:false
+              (Printexc.to_string exn))
+  done
+
+(* While waiting at the gate, service one orphaned tile if any.  The
+   helper is already counted in [arrived]; [busy] keeps the gate shut
+   until it finishes. *)
+let help_orphan ctx ds ~step =
+  let g = ctx.g in
+  Mutex.lock g.m;
+  match g.orphans with
+  | t :: rest when (not g.dead.(ds.me)) && not (Atomic.get g.aborted) ->
+      g.orphans <- rest;
+      g.busy <- g.busy + 1;
+      Mutex.unlock g.m;
+      (try
+         run_tile ctx ds ~step t;
+         locked g (fun () ->
+             g.busy <- g.busy - 1;
+             g.reexec_step <- g.reexec_step + 1;
+             try_release ctx ~step);
+         true
+       with
+      | Halt ->
+          locked g (fun () -> g.busy <- g.busy - 1);
+          raise Halt
+      | exn ->
+          crashed ctx ds ~step ~tile:t ~was_busy:true (Printexc.to_string exn))
+  | _ ->
+      Mutex.unlock g.m;
+      false
+
+let watchdog ctx ~step ~t0 ~snap ~deadline =
+  if now () -. !t0 > deadline then begin
+    let g = ctx.g in
+    let silent = ref (-1) in
+    for q = 0 to Array.length ctx.hb - 1 do
+      if (not g.dead.(q)) && g.entered.(q) < step then
+        if Atomic.get ctx.hb.(q) = snap.(q) && !silent < 0 then silent := q
+    done;
+    if !silent >= 0 then
+      locked g (fun () ->
+          let q = !silent in
+          if
+            (not (Atomic.get g.aborted))
+            && (not g.dead.(q))
+            && g.entered.(q) < step
+          then begin
+            record g (Report.Timed_out { domain = q; step });
+            abort_locked g
+              ~reason:
+                (Printf.sprintf
+                   "watchdog: domain %d heartbeat silent beyond %d ms at step \
+                    %d"
+                   q ctx.cfg.deadline_ms step)
+          end)
+    else begin
+      Array.iteri (fun i h -> snap.(i) <- Atomic.get h) ctx.hb;
+      t0 := now ()
+    end
+  end
+
+let gate_enter ctx ds ~step =
+  let g = ctx.g in
+  locked g (fun () ->
+      g.entered.(ds.me) <- step;
+      g.arrived <- g.arrived + 1;
+      try_release ctx ~step);
+  let deadline = float_of_int ctx.cfg.deadline_ms /. 1000.0 in
+  let t0 = ref (now ()) in
+  let snap = Array.map Atomic.get ctx.hb in
+  let spins = ref 0 in
+  while Atomic.get g.epoch < step && not (Atomic.get g.aborted) do
+    if help_orphan ctx ds ~step then begin
+      t0 := now ();
+      Array.iteri (fun i h -> snap.(i) <- Atomic.get h) ctx.hb;
+      spins := 0
+    end
+    else begin
+      Pool.backoff !spins;
+      incr spins;
+      watchdog ctx ~step ~t0 ~snap ~deadline
+    end
+  done;
+  if Atomic.get g.aborted then raise Halt
+
+let job ctx me =
+  let ds = { me; claims = 0 } in
+  try
+    for step = 1 to ctx.steps do
+      ds.claims <- 0;
+      drain ctx ds ~step;
+      gate_enter ctx ds ~step
+    done
+  with Retired | Halt -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Attempt driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make_ctx cfg plan compiled steps (p : partitioned) ~recover =
+  let n = p.nprocs in
+  let ntiles = Array.length p.tiles in
+  if Array.length p.owners <> ntiles then
+    invalid_arg "Resilient: owners/tiles length mismatch";
+  Array.iter
+    (fun o -> if o < 0 || o >= n then invalid_arg "Resilient: owner out of range")
+    p.owners;
+  let queue_tiles =
+    let by = Array.make n [] in
+    for t = ntiles - 1 downto 0 do
+      by.(p.owners.(t)) <- t :: by.(p.owners.(t))
+    done;
+    Array.map Array.of_list by
+  in
+  let storage = Exec.alloc compiled in
+  {
+    cfg;
+    plan;
+    storage;
+    run_point = Exec.exec_point compiled storage;
+    plain_writes = Exec.plain_write_addresses compiled;
+    steps;
+    recover;
+    tiles = p.tiles;
+    queue_tiles;
+    deques = Pool.Deques.create ~lengths:(Array.map Array.length queue_tiles);
+    hb = Array.init n (fun _ -> Atomic.make 0);
+    done_count = Array.init ntiles (fun _ -> Atomic.make 0);
+    g =
+      {
+        m = Mutex.create ();
+        epoch = Atomic.make 0;
+        aborted = Atomic.make false;
+        parties = n;
+        arrived = 0;
+        busy = 0;
+        entered = Array.make n 0;
+        dead = Array.make n false;
+        orphans = [];
+        failure = None;
+        events_rev = [];
+        retired = [];
+        reexec_step = 0;
+        reexec_total = 0;
+        cover_ok = true;
+      };
+  }
+
+let run_attempt cfg plan compiled steps ~partition ~size ~recover ~attempt_no
+    ~backoff_ms ~pre_events =
+  let t0 = now () in
+  let failed ?(events = pre_events) ?(tiles_total = 0) ?(reexec = 0)
+      ?(retired = []) reason =
+    ( {
+        Report.attempt = attempt_no;
+        nprocs = size;
+        outcome = Report.Failed reason;
+        events;
+        tiles_total;
+        tiles_reexecuted = reexec;
+        retired_domains = retired;
+        backoff_ms;
+        wall_seconds = now () -. t0;
+      },
+      None )
+  in
+  match partition ~nprocs:size with
+  | exception exn ->
+      failed (Printf.sprintf "partition failed: %s" (Printexc.to_string exn))
+  | p when p.nprocs <> size ->
+      failed
+        (Printf.sprintf "partition returned %d-way work for %d domains"
+           p.nprocs size)
+  | p -> (
+      match make_ctx cfg plan compiled steps p ~recover with
+      | exception exn ->
+          failed (Printf.sprintf "bad partition: %s" (Printexc.to_string exn))
+      | ctx ->
+          let g = ctx.g in
+          (try
+             Pool.with_pool size (fun pool ->
+                 Pool.run pool (fun me _ -> job ctx me))
+           with exn ->
+             locked g (fun () ->
+                 abort_locked g
+                   ~reason:
+                     (Printf.sprintf "pool failure: %s"
+                        (Printexc.to_string exn))));
+          let completed =
+            (not (Atomic.get g.aborted))
+            && g.failure = None
+            && Atomic.get g.epoch >= steps
+          in
+          let events = pre_events @ List.rev g.events_rev in
+          let attempt outcome =
+            {
+              Report.attempt = attempt_no;
+              nprocs = size;
+              outcome;
+              events;
+              tiles_total = Array.length ctx.tiles;
+              tiles_reexecuted = g.reexec_total;
+              retired_domains = List.rev g.retired;
+              backoff_ms;
+              wall_seconds = now () -. t0;
+            }
+          in
+          if completed then
+            ( attempt Report.Completed,
+              Some
+                ( Exec.to_float_array ctx.storage,
+                  Exec.checksum ctx.storage,
+                  g.cover_ok ) )
+          else
+            let reason =
+              Option.value
+                ~default:"every domain crashed before the nest completed"
+                g.failure
+            in
+            (attempt (Report.Failed reason), None))
+
+(* ------------------------------------------------------------------ *)
+(* Policy loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let execute ?(config = default_config) ?(plan = Fault.none) ~compiled ~steps
+    ~partition ~nprocs () =
+  if nprocs < 1 then invalid_arg "Resilient.execute: nprocs < 1";
+  if steps < 1 then invalid_arg "Resilient.execute: steps < 1";
+  let t_job = now () in
+  let tile_retry = Exec.reexecution_safe compiled in
+  let recover = config.policy <> Fail_fast && tile_retry in
+  let attempts_rev = ref [] in
+  let counter = ref 0 in
+  let next_no () =
+    let n = !counter in
+    incr counter;
+    n
+  in
+  let finish ~completed ~final_nprocs ~buffer ~checksum ~cover =
+    ( {
+        Report.name = (Exec.nest compiled).Loopir.Nest.name;
+        policy = policy_to_string config.policy;
+        plan = Fault.to_string plan;
+        deadline_ms = config.deadline_ms;
+        steps;
+        tile_retry;
+        attempts = List.rev !attempts_rev;
+        completed;
+        final_nprocs;
+        total_wall_seconds = now () -. t_job;
+        checksum;
+        covered_exactly_once = cover;
+      },
+      buffer )
+  in
+  let tries_per_size, backoff0 =
+    match config.policy with
+    | Fail_fast -> (1, 0)
+    | Retry { attempts; backoff_ms } -> (max 1 attempts, max 0 backoff_ms)
+    | Degrade -> (2, 25)
+  in
+  let sequential_fallback () =
+    let t0 = now () in
+    let buffer = Exec.sequential compiled ~steps in
+    attempts_rev :=
+      {
+        Report.attempt = next_no ();
+        nprocs = 0;
+        outcome = Report.Completed;
+        events = [ Report.Sequential_fallback ];
+        tiles_total = 0;
+        tiles_reexecuted = 0;
+        retired_domains = [];
+        backoff_ms = 0;
+        wall_seconds = now () -. t0;
+      }
+      :: !attempts_rev;
+    finish ~completed:true ~final_nprocs:0 ~buffer
+      ~checksum:(Array.fold_left ( +. ) 0.0 buffer)
+      ~cover:true
+  in
+  let rec at_size size ~pre_events =
+    let rec try_once left ~backoff_ms ~pre_events =
+      if backoff_ms > 0 then Unix.sleepf (float_of_int backoff_ms /. 1000.0);
+      let att, success =
+        run_attempt config plan compiled steps ~partition ~size ~recover
+          ~attempt_no:(next_no ()) ~backoff_ms ~pre_events
+      in
+      attempts_rev := att :: !attempts_rev;
+      match success with
+      | Some (buffer, checksum, cover) ->
+          finish ~completed:true ~final_nprocs:size ~buffer ~checksum ~cover
+      | None ->
+          if left > 1 then
+            try_once (left - 1)
+              ~backoff_ms:(if backoff_ms = 0 then max 1 backoff0 else backoff_ms * 2)
+              ~pre_events:[]
+          else (
+            match config.policy with
+            | Fail_fast | Retry _ ->
+                finish ~completed:false ~final_nprocs:size ~buffer:[||]
+                  ~checksum:0.0 ~cover:false
+            | Degrade ->
+                if size > 1 then
+                  let smaller = size / 2 in
+                  at_size smaller
+                    ~pre_events:
+                      [ Report.Degraded { from_procs = size; to_procs = smaller } ]
+                else sequential_fallback ())
+    in
+    try_once tries_per_size ~backoff_ms:0 ~pre_events
+  in
+  at_size nprocs ~pre_events:[]

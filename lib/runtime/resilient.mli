@@ -1,0 +1,91 @@
+(** Fault-tolerant execution of partitioned [Doall] nests.
+
+    {!Exec} assumes every domain finishes every tile: one worker
+    exception aborts the whole job and a silent straggler hangs the
+    barrier forever.  This module re-runs the same tiled work with four
+    defenses layered on top:
+
+    - {b fault hooks}: an optional {!Fault.plan} fires injected crashes,
+      stalls and corruptions at chosen (domain, step, claim) sites - the
+      adversity the rest of the machinery is tested against.  Without a
+      plan the hook is a single consumed-array scan per tile claim; the
+      plain {!Exec}/{!Pool} paths never see it at all;
+    - {b watchdog}: workers publish a per-tile heartbeat; domains
+      waiting at the end-of-step gate monitor the stragglers and convert
+      a heartbeat silent for longer than the configured deadline into a
+      structured {!Report.Timed_out} event that fails the attempt - no
+      infinite spin;
+    - {b tile-level recovery}: when the nest's tiles are idempotent
+      ({!Exec.reexecution_safe}), a crashed domain retires, its claimed
+      tile is orphaned, and surviving domains re-execute it before the
+      step gate opens - a completion bitmap checks every tile ran
+      effectively once per step;
+    - {b graceful degradation}: the {!policy} decides what a failed
+      attempt costs - give up ([Fail_fast]), retry with exponential
+      backoff on fresh operands ([Retry]), or additionally shrink the
+      domain count, re-partition, and ultimately fall back to sequential
+      execution ([Degrade]).
+
+    A retried attempt always restarts from freshly initialized operands,
+    so an aborted half-mutated buffer can never leak into the result:
+    the final buffer of a completed job is bit-identical to a fault-free
+    run whenever the nest is deterministic. *)
+
+open Matrixkit
+
+type policy =
+  | Fail_fast  (** first failure fails the job; no recovery of any kind *)
+  | Retry of { attempts : int; backoff_ms : int }
+      (** tile-level crash recovery when safe, plus up to [attempts]
+          pool jobs with doubling backoff starting at [backoff_ms] *)
+  | Degrade
+      (** like [Retry] (two attempts per size), then halve the domain
+          count and re-partition; sequential execution as last resort -
+          this path always completes *)
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> (policy, string) result
+(** [fail-fast | retry\[:ATTEMPTS\[:BACKOFF_MS\]\] | degrade]. *)
+
+type config = {
+  policy : policy;
+  deadline_ms : int;
+      (** watchdog: a straggler whose heartbeat is silent this long is
+          declared timed out *)
+  stall_poll_ms : int;
+      (** granularity at which injected stalls re-check for an aborted
+          attempt, so a watchdog verdict wakes the sleeper promptly *)
+}
+
+val default_config : config
+(** [Retry {attempts = 3; backoff_ms = 25}], 1000 ms deadline, 5 ms
+    stall poll. *)
+
+type partitioned = {
+  nprocs : int;
+  tiles : Ivec.t array array;  (** tile id -> iteration points, in order *)
+  owners : int array;  (** tile id -> preferred domain, [< nprocs] *)
+}
+(** Tile-granular work: the unit of claiming, stealing, completion
+    tracking and recovery. *)
+
+val tiles_of_schedule : Partition.Codegen.schedule -> partitioned
+(** Group the schedule's iteration space into its compile-time tiles
+    (via {!Partition.Codegen.tile_id}), owners from
+    {!Partition.Codegen.owner}. *)
+
+val execute :
+  ?config:config ->
+  ?plan:Fault.plan ->
+  compiled:Exec.compiled ->
+  steps:int ->
+  partition:(nprocs:int -> partitioned) ->
+  nprocs:int ->
+  unit ->
+  Report.t * float array
+(** Run [steps] outer iterations of the nest under the policy, starting
+    on [nprocs] domains partitioned by [partition ~nprocs] (called again
+    with smaller counts when degrading).  Returns the structured report
+    and the final operand buffer (meaningful when
+    [(fst r).Report.completed]). *)

@@ -1,0 +1,274 @@
+(* Tests for the fault-tolerant runtime: fault-plan parsing, watchdog
+   timeouts, tile-level crash recovery, retry/degradation policies, and
+   the invariant that a recovered run is bit-identical to a fault-free
+   one. *)
+
+open Loopart
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+module Fault = Runtime.Fault
+module Report = Runtime.Report
+module Resilient = Runtime.Resilient
+
+let stencil () = Programs.stencil5 ~n:17 ~steps:2 ()
+
+let ground_truth nest =
+  let compiled = Runtime.Exec.compile nest in
+  Runtime.Exec.sequential compiled ~steps:(Runtime.Exec.steps_of_nest nest)
+
+let buffers_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.equal x y) a b
+
+let run ?policy ?(deadline_ms = 1000) ?plan nest ~nprocs =
+  let plan =
+    match plan with
+    | None -> Fault.none
+    | Some s -> (
+        match Fault.of_string s with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "bad test plan %S: %s" s e)
+  in
+  let resilience =
+    {
+      Resilient.default_config with
+      deadline_ms;
+      policy =
+        Option.value ~default:Resilient.default_config.Resilient.policy policy;
+    }
+  in
+  let a = Driver.analyze ~nprocs nest in
+  Driver.execute_resilient ~resilience ~plan a
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_roundtrip () =
+  match Fault.of_string "crash@d1s2;stall:250;corrupt@d2c1" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok p ->
+      Alcotest.(check string)
+        "normalized round trip" "crash@d1s2c0;stall:250@s1c0;corrupt@d2s1c1"
+        (Fault.to_string p);
+      checki "three injections" 3 (List.length (Fault.injections p))
+
+let test_plan_rejects_garbage () =
+  let bad s =
+    match Fault.of_string s with Ok _ -> false | Error _ -> true
+  in
+  checkb "unknown action" true (bad "explode");
+  checkb "bad stall" true (bad "stall:soon");
+  checkb "bad site key" true (bad "crash@x3");
+  checkb "step 0" true (bad "crash@d0s0")
+
+let test_plan_fires_once () =
+  match Fault.of_string "crash@d1s1c0" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok p ->
+      checkb "miss on wrong site" true
+        (Fault.fire p ~domain:0 ~step:1 ~claim:0 = None);
+      checkb "hit" true (Fault.fire p ~domain:1 ~step:1 ~claim:0 = Some Fault.Crash);
+      checkb "consumed" true (Fault.fire p ~domain:1 ~step:1 ~claim:0 = None);
+      Fault.reset p;
+      checkb "re-armed" true
+        (Fault.fire p ~domain:1 ~step:1 ~claim:0 = Some Fault.Crash)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-free execution                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_free_matches_sequential () =
+  let nest = stencil () in
+  let report, buffer = run nest ~nprocs:4 in
+  checkb "completed" true report.Report.completed;
+  checki "on the full pool" 4 report.Report.final_nprocs;
+  checki "single attempt" 1 (List.length report.Report.attempts);
+  checkb "no events" true (Report.events report = []);
+  checkb "covered exactly once" true report.Report.covered_exactly_once;
+  checkb "bit-identical to sequential" true
+    (buffers_equal buffer (ground_truth nest))
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_recovered_by_survivors () =
+  let nest = stencil () in
+  let report, buffer = run nest ~nprocs:4 ~plan:"crash" in
+  checkb "completed" true report.Report.completed;
+  checkb "tiles are idempotent" true report.Report.tile_retry;
+  (* Tile-level recovery: the crash is absorbed inside the attempt, no
+     retry needed. *)
+  checki "single attempt" 1 (List.length report.Report.attempts);
+  checki "one crash" 1 (Report.crashed_count report);
+  checkb "orphaned tile re-executed" true (Report.reexecuted_tiles report >= 1);
+  checkb "covered exactly once" true report.Report.covered_exactly_once;
+  (match report.Report.attempts with
+  | [ a ] ->
+      checki "one domain retired" 1 (List.length a.Report.retired_domains)
+  | _ -> Alcotest.fail "expected one attempt");
+  checkb "bit-identical to sequential" true
+    (buffers_equal buffer (ground_truth nest))
+
+let test_corruption_overwritten_by_reexecution () =
+  let nest = stencil () in
+  let report, buffer = run nest ~nprocs:4 ~plan:"corrupt" in
+  checkb "completed" true report.Report.completed;
+  checkb "no NaN survived" true
+    (Array.for_all (fun x -> not (Float.is_nan x)) buffer);
+  checkb "bit-identical to sequential" true
+    (buffers_equal buffer (ground_truth nest))
+
+let test_crash_under_degrade () =
+  let nest = stencil () in
+  let report, buffer =
+    run nest ~nprocs:4 ~policy:Resilient.Degrade ~plan:"crash@s2"
+  in
+  checkb "completed" true report.Report.completed;
+  checkb "bit-identical to sequential" true
+    (buffers_equal buffer (ground_truth nest))
+
+let test_fail_fast_fails_cleanly () =
+  let nest = stencil () in
+  let report, _ =
+    run nest ~nprocs:4 ~policy:Resilient.Fail_fast ~plan:"crash"
+  in
+  checkb "not completed" false report.Report.completed;
+  checki "exactly one attempt" 1 (List.length report.Report.attempts);
+  checki "crash recorded" 1 (Report.crashed_count report);
+  match report.Report.attempts with
+  | [ { Report.outcome = Report.Failed _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a single failed attempt"
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_stall_timed_out_then_retried () =
+  let nest = stencil () in
+  let t0 = Unix.gettimeofday () in
+  let report, buffer =
+    run nest ~nprocs:4 ~deadline_ms:100
+      ~policy:(Resilient.Retry { attempts = 2; backoff_ms = 5 })
+      ~plan:"stall:10000"
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  checkb "completed on retry" true report.Report.completed;
+  checki "two attempts" 2 (List.length report.Report.attempts);
+  checki "watchdog fired once" 1 (Report.timed_out_count report);
+  (match report.Report.attempts with
+  | first :: _ -> (
+      match first.Report.outcome with
+      | Report.Failed _ -> ()
+      | Report.Completed -> Alcotest.fail "stalled attempt must fail")
+  | [] -> Alcotest.fail "no attempts");
+  (* The injected stall is 10 s; the watchdog plus the abort-polling
+     sleeper must cut that short by an order of magnitude. *)
+  checkb "watchdog cut the stall short" true (wall < 5.0);
+  checkb "bit-identical to sequential" true
+    (buffers_equal buffer (ground_truth nest))
+
+(* ------------------------------------------------------------------ *)
+(* Non-idempotent nests: attempt-level retry only                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_accumulate_retries_whole_attempt () =
+  let nest = Programs.diag_accumulate ~n:16 () in
+  let report, buffer = run nest ~nprocs:4 ~plan:"crash" in
+  checkb "accumulating tiles are not idempotent" false report.Report.tile_retry;
+  checkb "completed" true report.Report.completed;
+  (* No tile-level recovery: the crash failed the first attempt and the
+     retry ran on fresh operands with the injection already consumed. *)
+  checki "two attempts" 2 (List.length report.Report.attempts);
+  checki "no tile re-executions" 0 (Report.reexecuted_tiles report);
+  checkb "bit-identical to sequential" true
+    (buffers_equal buffer (ground_truth nest))
+
+let test_degrade_to_sequential () =
+  let nest = Programs.diag_accumulate ~n:16 () in
+  let plan = String.concat ";" (List.init 6 (fun _ -> "crash")) in
+  let report, buffer = run nest ~nprocs:4 ~policy:Resilient.Degrade ~plan in
+  checkb "completed" true report.Report.completed;
+  checki "fell back to sequential" 0 report.Report.final_nprocs;
+  checkb "fallback event recorded" true
+    (List.exists
+       (function Report.Sequential_fallback -> true | _ -> false)
+       (Report.events report));
+  checkb "degradation steps recorded" true
+    (List.exists
+       (function Report.Degraded _ -> true | _ -> false)
+       (Report.events report));
+  checki "4,4,2,2,1,1,seq" 7 (List.length report.Report.attempts);
+  checkb "bit-identical to sequential" true
+    (buffers_equal buffer (ground_truth nest))
+
+(* ------------------------------------------------------------------ *)
+(* Report serialization                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_json () =
+  let nest = stencil () in
+  let report, _ = run nest ~nprocs:4 ~plan:"crash" in
+  let json = Report.to_json report in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "has completed" true (contains "\"completed\": true");
+  checkb "has crash event" true (contains "\"event\": \"crashed\"");
+  checkb "has cover bit" true (contains "\"covered_exactly_once\": true");
+  checkb "has plan" true (contains "crash@s1c0")
+
+let test_policy_strings () =
+  let roundtrip s =
+    match Resilient.policy_of_string s with
+    | Error e -> Alcotest.failf "policy %S rejected: %s" s e
+    | Ok p -> Resilient.policy_to_string p
+  in
+  Alcotest.(check string) "fail-fast" "fail-fast" (roundtrip "fail-fast");
+  Alcotest.(check string) "degrade" "degrade" (roundtrip "degrade");
+  Alcotest.(check string) "retry default" "retry:3:25" (roundtrip "retry");
+  Alcotest.(check string) "retry full" "retry:5:10" (roundtrip "retry:5:10");
+  checkb "garbage rejected" true
+    (match Resilient.policy_of_string "panic" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let () =
+  Alcotest.run "resilient"
+    [
+      ( "fault plans",
+        [
+          Alcotest.test_case "round trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_plan_rejects_garbage;
+          Alcotest.test_case "fires once" `Quick test_plan_fires_once;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "fault-free matches sequential" `Quick
+            test_fault_free_matches_sequential;
+          Alcotest.test_case "crash recovered by survivors" `Quick
+            test_crash_recovered_by_survivors;
+          Alcotest.test_case "corruption overwritten" `Quick
+            test_corruption_overwritten_by_reexecution;
+          Alcotest.test_case "crash under degrade" `Quick
+            test_crash_under_degrade;
+          Alcotest.test_case "fail-fast fails cleanly" `Quick
+            test_fail_fast_fails_cleanly;
+          Alcotest.test_case "stall timed out then retried" `Quick
+            test_stall_timed_out_then_retried;
+          Alcotest.test_case "accumulate retries whole attempt" `Quick
+            test_accumulate_retries_whole_attempt;
+          Alcotest.test_case "degrade to sequential" `Quick
+            test_degrade_to_sequential;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "json" `Quick test_report_json;
+          Alcotest.test_case "policy strings" `Quick test_policy_strings;
+        ] );
+    ]

@@ -56,6 +56,56 @@ let test_pool_reraises_job_exception () =
       Runtime.Pool.run pool (fun _ _ -> Atomic.incr n);
       check "pool still usable" 3 (Atomic.get n))
 
+let test_pool_first_exception_wins () =
+  (* Two workers raise; run must re-raise exactly one of them (the first
+     recorded) and swallow the other - never a barrier deadlock. *)
+  Runtime.Pool.with_pool 4 (fun pool ->
+      let raised =
+        try
+          Runtime.Pool.run pool (fun p barrier ->
+              if p = 0 || p = 2 then failwith (Printf.sprintf "boom%d" p)
+              else Runtime.Pool.Barrier.wait barrier ~sense:(ref false));
+          None
+        with Failure m -> Some m
+      in
+      (match raised with
+      | Some ("boom0" | "boom2") -> ()
+      | Some m -> Alcotest.failf "unexpected exception %S" m
+      | None -> Alcotest.fail "no exception reached the caller");
+      let n = Atomic.make 0 in
+      Runtime.Pool.run pool (fun _ _ -> Atomic.incr n);
+      check "pool still usable after double fault" 4 (Atomic.get n))
+
+let test_pool_survivors_observe_abort () =
+  (* Survivors parked at the barrier when a sibling dies must all wake
+     with Aborted - even on an oversubscribed single-core host. *)
+  Runtime.Pool.with_pool 6 (fun pool ->
+      let aborted = Atomic.make 0 in
+      (try
+         Runtime.Pool.run pool (fun p barrier ->
+             if p = 5 then failwith "die"
+             else
+               try
+                 let sense = ref false in
+                 Runtime.Pool.Barrier.wait barrier ~sense;
+                 (* Unreachable: the barrier can never fill. *)
+                 Runtime.Pool.Barrier.wait barrier ~sense
+               with Runtime.Pool.Aborted ->
+                 Atomic.incr aborted;
+                 raise Runtime.Pool.Aborted)
+       with Failure _ -> ());
+      check "all five survivors observed Aborted" 5 (Atomic.get aborted))
+
+let test_with_pool_shuts_down_on_exception () =
+  let escaped =
+    try
+      Runtime.Pool.with_pool 3 (fun pool ->
+          Runtime.Pool.run pool (fun _ _ -> ());
+          failwith "body failed")
+    with Failure m -> m = "body failed"
+  in
+  checkb "body exception escapes with_pool" true escaped
+
 let test_counter_covers_range () =
   let c = Runtime.Pool.Counter.create ~total:100 in
   let seen = Array.make 100 0 in
@@ -239,6 +289,12 @@ let () =
             test_pool_barrier_separates_phases;
           Alcotest.test_case "job exception re-raised" `Quick
             test_pool_reraises_job_exception;
+          Alcotest.test_case "first of two exceptions wins" `Quick
+            test_pool_first_exception_wins;
+          Alcotest.test_case "survivors observe Aborted" `Quick
+            test_pool_survivors_observe_abort;
+          Alcotest.test_case "with_pool shuts down on exception" `Quick
+            test_with_pool_shuts_down_on_exception;
           Alcotest.test_case "counter covers range" `Quick
             test_counter_covers_range;
           Alcotest.test_case "deques cover and steal" `Quick

@@ -223,6 +223,15 @@ let run_cmd =
     let doc = "Keep operands in a Bigarray instead of a float array." in
     Arg.(value & flag & info [ "bigarray" ] ~doc)
   in
+  let kernels_arg =
+    let doc =
+      "Lower tiles to specialized strided kernels (incremental address \
+       bumps, unit-stride-innermost traversal, shape fast paths) instead \
+       of interpreting point by point.  Effective for $(b,tiled) runs over \
+       rectangular tiles and for resilient box tiles."
+    in
+    Arg.(value & flag & info [ "kernels" ] ~doc)
+  in
   let validate_arg =
     let doc =
       "Also validate: write-race freedom, runtime-vs-simulator footprint \
@@ -282,7 +291,7 @@ let run_cmd =
     Arg.(
       value & opt (some string) None & info [ "report-json" ] ~docv:"FILE" ~doc)
   in
-  let run source nprocs skewed policy repeats steps bigarray validate
+  let run source nprocs skewed policy repeats steps bigarray kernels validate
       fault_plan fault_policy deadline_ms report_json =
     wrap (fun () ->
         let nest = load source in
@@ -297,6 +306,7 @@ let run_cmd =
             repeats;
             steps;
             bigarray;
+            kernels;
           }
         in
         let resilient =
@@ -348,7 +358,7 @@ let run_cmd =
     Term.(
       term_result
         (const run $ source_arg $ nprocs_arg $ skewed_arg $ policy_arg
-       $ repeats_arg $ steps_arg $ bigarray_arg $ validate_arg
+       $ repeats_arg $ steps_arg $ bigarray_arg $ kernels_arg $ validate_arg
        $ fault_plan_arg $ fault_policy_arg $ deadline_arg $ report_json_arg))
 
 let evaluate_cmd =

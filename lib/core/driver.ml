@@ -45,6 +45,7 @@ type exec_config = {
   steps : int option;
   footprint : Runtime.Measure.mode;
   bigarray : bool;
+  kernels : bool;
 }
 
 let default_exec_config =
@@ -54,6 +55,7 @@ let default_exec_config =
     steps = None;
     footprint = Runtime.Measure.Auto;
     bigarray = false;
+    kernels = false;
   }
 
 let policy_name = function
@@ -67,9 +69,58 @@ let policy_name = function
    schedulers grab chunks from. *)
 let lex_points nest = Array.of_list (Scheduling.cyclic nest ~nprocs:1).(0)
 
+(* The kernel path: time the specialized strided loops over the tile
+   boxes, but keep the interpreter's instrumented pass (same iteration
+   sets, so the footprints transfer) for the report. *)
+let execute_kernels ~config ~sched a =
+  let nest = a.nest in
+  let per_tile = Cost.misses_per_tile a.cost sched.Codegen.tile in
+  let tiles_per_proc =
+    Intmath.Int_math.ceil_div (Codegen.num_tiles sched) a.nprocs
+  in
+  let predicted = per_tile * tiles_per_proc in
+  let compiled = Runtime.Exec.compile ~bigarray:config.bigarray nest in
+  let plan = Runtime.Kernel.plan compiled in
+  let boxes = Runtime.Kernel.boxes_of_schedule sched in
+  let work = Runtime.Exec.static_of_assignment (Scheduling.of_schedule sched) in
+  let steps = Runtime.Exec.steps_of_nest ?override:config.steps nest in
+  let raw =
+    Runtime.Pool.with_pool a.nprocs (fun pool ->
+        let wall, seconds, iterations =
+          Runtime.Kernel.time pool plan ~boxes ~steps
+            ~repeats:config.repeats
+        in
+        let inst =
+          Runtime.Exec.measure pool compiled work ~steps
+            ~mode:config.footprint
+        in
+        {
+          Runtime.Measure.wall_seconds = wall;
+          seconds;
+          iterations;
+          footprints = inst.Runtime.Exec.footprints;
+          exact_footprints = inst.Runtime.Exec.exact;
+          distinct_total = inst.Runtime.Exec.distinct_total;
+          checksum = inst.Runtime.Exec.checksum;
+        })
+  in
+  Runtime.Measure.report ~name:nest.Nest.name
+    ~policy:
+      (Printf.sprintf "compile-time tiles + %s kernel"
+         (Runtime.Kernel.shape plan))
+    ~steps ~repeats:config.repeats
+    ~total_elements:(Runtime.Exec.total_elements compiled)
+    ~predicted_per_domain:predicted raw
+
 let execute ?(config = default_exec_config) ?tile a =
   let nest = a.nest in
   let sched = schedule ?tile a in
+  let kernel_capable =
+    config.kernels && config.policy = Tiled
+    && match sched.Codegen.tile with Tile.Rect _ -> true | Tile.Pped _ -> false
+  in
+  if kernel_capable then execute_kernels ~config ~sched a
+  else
   let work, predicted =
     match config.policy with
     | Tiled ->
@@ -132,8 +183,8 @@ let execute_resilient ?(config = default_exec_config)
     in
     Runtime.Resilient.tiles_of_schedule (Codegen.make nest tile ~nprocs)
   in
-  Runtime.Resilient.execute ~config:resilience ?plan ~compiled ~steps
-    ~partition ~nprocs:a.nprocs ()
+  Runtime.Resilient.execute ~config:resilience ?plan ~kernels:config.kernels
+    ~compiled ~steps ~partition ~nprocs:a.nprocs ()
 
 let validate ?tile a = Runtime.Validate.check_schedule (schedule ?tile a)
 

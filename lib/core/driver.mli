@@ -59,17 +59,26 @@ type exec_config = {
   steps : int option;  (** override the outer [Doseq] trip count *)
   footprint : Runtime.Measure.mode;
   bigarray : bool;  (** operands in a [Bigarray] instead of [float array] *)
+  kernels : bool;
+      (** lower tiles to {!Runtime.Kernel}'s specialized strided loops
+          instead of interpreting point by point; effective for the
+          [Tiled] policy over rectangular tiles (other policies and
+          parallelepiped tiles keep the interpreter), and for
+          {!execute_resilient}'s box tiles *)
 }
 
 val default_exec_config : exec_config
 (** [Tiled], 3 repeats, the nest's own step count, [Auto] footprints,
-    [float array] operands. *)
+    [float array] operands, interpreter (no kernels). *)
 
 val execute :
   ?config:exec_config -> ?tile:Tile.t -> analysis -> Runtime.Measure.report
 (** Execute the nest on [analysis.nprocs] domains and measure per-domain
     wall-clock, iterations and distinct-elements footprints, alongside
-    the Theorem 2/4 prediction when the policy is [Tiled]. *)
+    the Theorem 2/4 prediction when the policy is [Tiled].  With
+    [config.kernels] the timed pass runs the lowered kernels; the
+    instrumented footprint pass (identical iteration sets) stays on the
+    interpreter. *)
 
 val execute_resilient :
   ?config:exec_config ->

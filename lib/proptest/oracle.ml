@@ -469,6 +469,92 @@ let check_resilient (c : Gen.case) =
       else None
 
 (* ------------------------------------------------------------------ *)
+(* Oracle 8: kernel lowering agrees with the interpreter bit for bit   *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the schedule's tile boxes through {!Kernel.run_box} (both the
+   shape-specialized plan and the generic fallback) and through the
+   point interpreter iterating the same boxes lexicographically, and
+   demand byte-identical final buffers.  Comparing over the same boxes
+   in the same order isolates what the kernel owns - incremental
+   addressing, traversal reordering, shape specialization - from tile
+   scheduling order, which other oracles cover.  Alternates storage
+   representations across cases. *)
+let check_kernel (c : Gen.case) =
+  let bigarray = c.id land 1 = 1 in
+  let compiled = Exec.compile ~bigarray c.nest in
+  let steps = Exec.steps_of_nest c.nest in
+  let sched = Codegen.make c.nest (Tile.rect c.tile) ~nprocs:c.nprocs in
+  let boxes = Codegen.rect_tile_ranges sched in
+  let reference =
+    let storage = Exec.alloc compiled in
+    let body = Exec.exec_point compiled storage in
+    let run_box (b : (int * int) array) =
+      let d = Array.length b in
+      let point = Array.map fst b in
+      let rec go k =
+        if k = d then body point
+        else
+          let lo, hi = b.(k) in
+          for v = lo to hi do
+            point.(k) <- v;
+            go (k + 1)
+          done
+      in
+      go 0
+    in
+    for _ = 1 to steps do
+      List.iter run_box boxes
+    done;
+    storage
+  in
+  let ref_buf = Exec.to_float_array reference in
+  let engine ~force_generic =
+    let plan = Kernel.plan ~force_generic compiled in
+    let storage = Exec.alloc compiled in
+    for _ = 1 to steps do
+      List.iter (Kernel.run_box plan storage) boxes
+    done;
+    (plan, storage)
+  in
+  let compare_one ~force_generic () =
+    let plan, storage = engine ~force_generic in
+    let buf = Exec.to_float_array storage in
+    let mismatch = ref (-1) in
+    (if Array.length buf = Array.length ref_buf then begin
+       let i = ref 0 in
+       while !mismatch < 0 && !i < Array.length buf do
+         if buf.(!i) <> ref_buf.(!i) then mismatch := !i;
+         incr i
+       done
+     end
+     else mismatch := Array.length ref_buf);
+    if !mismatch >= 0 then
+      let i = !mismatch in
+      fail "kernel-interp-agree"
+        "%s kernel (shape %s, order %s, %s) diverges from the interpreter \
+         at element %d: %h vs %h (tile %s, %d procs)"
+        (if force_generic then "generic" else "specialized")
+        (Kernel.shape plan)
+        (ivec_str (Kernel.order plan))
+        (if bigarray then "bigarray" else "flat")
+        i
+        (if i < Array.length buf then buf.(i) else Float.nan)
+        (if i < Array.length ref_buf then ref_buf.(i) else Float.nan)
+        (ivec_str c.tile) c.nprocs
+    else if Exec.checksum storage <> Exec.checksum reference then
+      fail "kernel-interp-agree"
+        "buffers match but checksums differ (%h vs %h)"
+        (Exec.checksum storage) (Exec.checksum reference)
+    else None
+  in
+  first_some
+    [
+      compare_one ~force_generic:false;
+      compare_one ~force_generic:true;
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Putting it together                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -500,6 +586,7 @@ let check ~fault ~pools (c : Gen.case) =
         (fun () -> check_relabel c (Lazy.force sim) per_proc);
         (fun () -> check_optimizer c);
         (fun () -> check_resilient c);
+        (fun () -> check_kernel c);
       ]
   with e ->
     Some

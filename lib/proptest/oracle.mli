@@ -14,7 +14,14 @@
       exhaustive search over feasible processor grids;
     - {b sim-relabel-invariant}: [Machine.Sim] traffic quantities that are
       functions of the partition (not of processor names) are unchanged
-      when processors are relabeled.
+      when processors are relabeled;
+    - {b kernel-interp-agree}: [Runtime.Kernel]'s lowered strided loops
+      (both the shape-specialized plan and the generic fallback, flat
+      and bigarray storage alternating by case) produce byte-identical
+      final buffers to the point interpreter run over the same tile
+      boxes - including dependent-column nests and accumulate
+      references, where traversal reordering would be unsound unless
+      the plan's safety analysis forbids it.
 
     A fault can be injected to prove the harness detects and shrinks real
     bugs: [Spread_off_by_one] perturbs the class spread/translation vector

@@ -59,6 +59,9 @@ let compile ?(bigarray = false) nest =
 let nest c = c.nest
 let layout c = c.layout
 let total_elements c = Layout.total_elements c.layout
+let is_bigarray c = c.bigarray
+let reads c = c.reads
+let writes c = c.writes
 
 let address c (r : Reference.t) =
   let cr = compile_ref c.layout (Nest.nesting c.nest) r in
@@ -82,8 +85,17 @@ let alloc c =
   end
   else Flat (Array.init n init_value)
 
+(* Plain summation loops with an unboxed accumulator: the fold/init
+   closures the previous versions used boxed every element on the
+   Bigarray path, which dominated the post-run bookkeeping at bench
+   sizes. *)
 let checksum = function
-  | Flat a -> Array.fold_left ( +. ) 0.0 a
+  | Flat a ->
+      let acc = ref 0.0 in
+      for i = 0 to Array.length a - 1 do
+        acc := !acc +. Array.unsafe_get a i
+      done;
+      !acc
   | Big a ->
       let acc = ref 0.0 in
       for i = 0 to Bigarray.Array1.dim a - 1 do
@@ -93,7 +105,16 @@ let checksum = function
 
 let to_float_array = function
   | Flat a -> Array.copy a
-  | Big a -> Array.init (Bigarray.Array1.dim a) (Bigarray.Array1.unsafe_get a)
+  | Big a ->
+      let n = Bigarray.Array1.dim a in
+      if n = 0 then [||]
+      else begin
+        let out = Array.make n 0.0 in
+        for i = 0 to n - 1 do
+          Array.unsafe_set out i (Bigarray.Array1.unsafe_get a i)
+        done;
+        out
+      end
 
 let[@inline] addr (r : cref) (p : int array) =
   let a = ref r.c in
@@ -143,6 +164,8 @@ let exec_point c storage =
   match storage with
   | Flat data -> fun p -> exec_flat c data p
   | Big data -> fun p -> exec_big c data p
+
+let view = function Flat a -> `Flat a | Big a -> `Big a
 
 let poke storage a v =
   match storage with

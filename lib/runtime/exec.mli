@@ -18,6 +18,13 @@ open Matrixkit
 
 type compiled
 
+type cref = { c : int; m : int array }
+(** A compiled affine reference: the flat element address at iteration
+    [i] is [c + m . i].  [m.(k)] is therefore the {e compile-time
+    constant} address delta of one step along loop axis [k] - the
+    strength-reduction fact {!Kernel} builds its incremental-address
+    loops on. *)
+
 val compile : ?bigarray:bool -> Nest.t -> compiled
 (** Build the layout and index functions.  With [bigarray] the operand
     space is one [Bigarray.Array1] of float64 (off the OCaml heap, so
@@ -27,6 +34,16 @@ val compile : ?bigarray:bool -> Nest.t -> compiled
 val nest : compiled -> Nest.t
 val layout : compiled -> Machine.Layout.t
 val total_elements : compiled -> int
+val is_bigarray : compiled -> bool
+
+val reads : compiled -> cref array
+(** The compiled read references, in body order. *)
+
+val writes : compiled -> (cref * bool) array
+(** The compiled write-like references in body order, each flagged
+    [true] when it accumulates.  Together with {!reads} this is the
+    whole body semantics: the loads are summed, [+. 1.0] is applied,
+    and the result is stored (or added) through every write. *)
 
 val address : compiled -> Reference.t -> Ivec.t -> int
 (** The flat element address the compiled reference touches at an
@@ -51,6 +68,13 @@ val exec_point : compiled -> storage -> Ivec.t -> unit
 
 val checksum : storage -> float
 val to_float_array : storage -> float array
+
+val view :
+  storage ->
+  [ `Flat of float array
+  | `Big of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ]
+(** The underlying buffer, for backends ({!Kernel}) that emit their own
+    specialized loops over it. *)
 
 val poke : storage -> int -> float -> unit
 (** Overwrite one element - the corruption the [Corrupt] fault injects. *)

@@ -1,0 +1,754 @@
+open Loopir
+
+type box = (int * int) array
+
+type shape = Copy | Stencil5 | Acc3 | Generic
+
+let shape_name = function
+  | Copy -> "copy"
+  | Stencil5 -> "stencil5"
+  | Acc3 -> "accumulate3"
+  | Generic -> "generic"
+
+type plan = {
+  compiled : Exec.compiled;
+  nesting : int;
+  reads : Exec.cref array;
+  writes : (Exec.cref * bool) array;
+  order : int array;  (** traversal order, outermost first *)
+  reorderable : bool;
+  shape : shape;
+}
+
+let compiled p = p.compiled
+let order p = Array.copy p.order
+let reorderable p = p.reorderable
+let shape p = shape_name p.shape
+
+(* ------------------------------------------------------------------ *)
+(* Traversal-order safety analysis                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Inclusive address interval of a compiled reference over the whole
+   iteration space (so over any clipped tile box a fortiori). *)
+let addr_interval (r : Exec.cref) (bounds : (int * int) array) =
+  let lo = ref r.Exec.c and hi = ref r.Exec.c in
+  Array.iteri
+    (fun k (l, h) ->
+      let m = r.Exec.m.(k) in
+      if m >= 0 then begin
+        lo := !lo + (m * l);
+        hi := !hi + (m * h)
+      end
+      else begin
+        lo := !lo + (m * h);
+        hi := !hi + (m * l)
+      end)
+    bounds;
+  (!lo, !hi)
+
+let disjoint (a1, b1) (a2, b2) = b1 < a2 || b2 < a1
+
+let same_map (r : Exec.cref) (w : Exec.cref) =
+  r.Exec.c = w.Exec.c && r.Exec.m = w.Exec.m
+
+(* Sufficient mixed-radix condition for the address map [i -> c + m.i]
+   to be injective over the full iteration space (hence over any box):
+   sorting the moving axes by |m_k|, each stride must exceed the total
+   span the smaller axes can cover. *)
+let injective_on_space (r : Exec.cref) (extents : int array) =
+  let moving = ref [] in
+  Array.iteri
+    (fun k m -> if m <> 0 && extents.(k) > 1 then moving := (abs m, k) :: !moving)
+    r.Exec.m;
+  let axes = List.sort compare !moving in
+  let ok = ref true in
+  let span = ref 0 in
+  List.iter
+    (fun (m, k) ->
+      if m <= !span then ok := false;
+      span := !span + (m * (extents.(k) - 1)))
+    axes;
+  !ok
+
+(* Axes the reference is constant along (and that actually move): the
+   same-address fiber directions.  If more than one, permuting the loop
+   order permutes the fiber visit order, which reorders floating-point
+   read-modify-writes. *)
+let fiber_axes (r : Exec.cref) (extents : int array) =
+  let n = ref 0 in
+  Array.iteri
+    (fun k m -> if m = 0 && extents.(k) > 1 then incr n)
+    r.Exec.m;
+  !n
+
+(* Reordering the tile traversal is bit-exact iff (conservatively):
+   every write-like reference is injective over the moving axes and has
+   at most one fiber axis (so read-modify-write chains per address run
+   along a single loop axis, whose order any permutation preserves);
+   every read either touches an address range disjoint from every write
+   or is the write's own per-iteration location; and distinct writes
+   don't alias each other except through the identical index map. *)
+let analyze_reorderable reads writes bounds extents =
+  Array.for_all
+    (fun ((w : Exec.cref), _) ->
+      injective_on_space w extents && fiber_axes w extents <= 1)
+    writes
+  && Array.for_all
+       (fun (r : Exec.cref) ->
+         Array.for_all
+           (fun ((w : Exec.cref), _) ->
+             same_map r w
+             || disjoint (addr_interval r bounds) (addr_interval w bounds))
+           writes)
+       reads
+  && Array.for_all
+       (fun ((w1 : Exec.cref), _) ->
+         Array.for_all
+           (fun ((w2 : Exec.cref), _) ->
+             w1 == w2 || same_map w1 w2
+             || disjoint (addr_interval w1 bounds) (addr_interval w2 bounds))
+           writes)
+       writes
+
+(* Innermost axis choice: the axis along which the most references move
+   with unit address stride (row-major spatial locality), restricted to
+   axes that actually iterate.  Ties keep the natural innermost axis. *)
+let choose_order ~nesting ~reorderable reads writes extents =
+  let default = Array.init nesting Fun.id in
+  if (not reorderable) || nesting <= 1 then default
+  else begin
+    let score = Array.make nesting 0 in
+    let count (r : Exec.cref) =
+      Array.iteri
+        (fun k m -> if abs m = 1 && extents.(k) > 1 then score.(k) <- score.(k) + 1)
+        r.Exec.m
+    in
+    Array.iter count reads;
+    Array.iter (fun (w, _) -> count w) writes;
+    let best = ref (nesting - 1) in
+    for k = nesting - 2 downto 0 do
+      if score.(k) > score.(!best) then best := k
+    done;
+    if !best = nesting - 1 then default
+    else begin
+      let rest =
+        Array.to_list default |> List.filter (fun k -> k <> !best)
+      in
+      Array.of_list (rest @ [ !best ])
+    end
+  end
+
+let is_permutation o n =
+  Array.length o = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun k ->
+      k >= 0 && k < n && not seen.(k) && (seen.(k) <- true; true))
+    o
+
+let detect_shape (reads : Exec.cref array) writes =
+  match (Array.length reads, writes) with
+  | 1, [| (_, false) |] -> Copy
+  | 5, [| (_, false) |]
+    when Array.for_all (fun (r : Exec.cref) -> r.Exec.m = reads.(0).Exec.m) reads
+    ->
+      (* Equal index maps let the five reads share one cursor with
+         constant offsets - the defining property of a stencil. *)
+      Stencil5
+  | 2, [| (_, true) |] -> Acc3
+  | _ -> Generic
+
+let plan ?(force_generic = false) ?order compiled =
+  let nest = Exec.nest compiled in
+  let nesting = Nest.nesting nest in
+  let bounds = Nest.bounds nest in
+  let extents = Nest.extents nest in
+  let reads = Exec.reads compiled in
+  let writes = Exec.writes compiled in
+  let reorderable = analyze_reorderable reads writes bounds extents in
+  let order =
+    match order with
+    | Some o ->
+        if not (is_permutation o nesting) then
+          invalid_arg "Kernel.plan: order is not a permutation of the axes";
+        Array.copy o
+    | None -> choose_order ~nesting ~reorderable reads writes extents
+  in
+  let shape = if force_generic then Generic else detect_shape reads writes in
+  { compiled; nesting; reads; writes; order; reorderable; shape }
+
+(* Per-axis address delta of each body reference, in original axis
+   order: exactly the [m] vector of the compiled reference. *)
+let strides p =
+  let nest = Exec.nest p.compiled in
+  let ri = ref 0 and wi = ref 0 in
+  List.map
+    (fun (r : Reference.t) ->
+      let cr =
+        if Reference.is_write_like r then begin
+          let cr, _ = p.writes.(!wi) in
+          incr wi;
+          cr
+        end
+        else begin
+          let cr = p.reads.(!ri) in
+          incr ri;
+          cr
+        end
+      in
+      (r, Array.copy cr.Exec.m))
+    nest.Nest.body
+
+(* ------------------------------------------------------------------ *)
+(* Box execution                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let box_volume (b : box) =
+  Array.fold_left (fun acc (lo, hi) -> acc * max 0 (hi - lo + 1)) 1 b
+
+(* The specialized inner loops.  Every variant advances the references'
+   running addresses by their innermost-axis deltas - no per-iteration
+   address recomputation - and must reproduce the interpreter's value
+   semantics bit for bit: reads summed in body order, [+. 1.0], stores
+   (or in-place adds) through every write in body order. *)
+
+let inner_copy_flat (data : float array) ~n ~dr ~dw r0 w0 =
+  let r = ref r0 and w = ref w0 in
+  for _ = 1 to n do
+    Array.unsafe_set data !w (Array.unsafe_get data !r +. 1.0);
+    r := !r + dr;
+    w := !w + dw
+  done
+
+let inner_copy_big data ~n ~dr ~dw r0 w0 =
+  let r = ref r0 and w = ref w0 in
+  for _ = 1 to n do
+    Bigarray.Array1.unsafe_set data !w
+      (Bigarray.Array1.unsafe_get data !r +. 1.0);
+    r := !r + dr;
+    w := !w + dw
+  done
+
+(* The five reads share one index map (shape precondition), so their
+   mutual offsets are constant over the box: one bumped cursor and four
+   fixed displacements replace five independent address streams. *)
+let inner_stencil5_flat (data : float array) ~n ~d ~dw ~o1 ~o2 ~o3 ~o4 b0 w0 =
+  let b = ref b0 and w = ref w0 in
+  for _ = 1 to n do
+    let base = !b in
+    Array.unsafe_set data !w
+      (Array.unsafe_get data base
+      +. Array.unsafe_get data (base + o1)
+      +. Array.unsafe_get data (base + o2)
+      +. Array.unsafe_get data (base + o3)
+      +. Array.unsafe_get data (base + o4)
+      +. 1.0);
+    b := base + d;
+    w := !w + dw
+  done
+
+let inner_stencil5_big data ~n ~d ~dw ~o1 ~o2 ~o3 ~o4 b0 w0 =
+  let b = ref b0 and w = ref w0 in
+  for _ = 1 to n do
+    let base = !b in
+    Bigarray.Array1.unsafe_set data !w
+      (Bigarray.Array1.unsafe_get data base
+      +. Bigarray.Array1.unsafe_get data (base + o1)
+      +. Bigarray.Array1.unsafe_get data (base + o2)
+      +. Bigarray.Array1.unsafe_get data (base + o3)
+      +. Bigarray.Array1.unsafe_get data (base + o4)
+      +. 1.0);
+    b := base + d;
+    w := !w + dw
+  done
+
+let inner_acc3_flat (data : float array) ~n ~d0 ~d1 ~dw r0' r1' w0 =
+  let r0 = ref r0' and r1 = ref r1' and w = ref w0 in
+  for _ = 1 to n do
+    let a = !w in
+    Array.unsafe_set data a
+      (Array.unsafe_get data a
+      +. (Array.unsafe_get data !r0 +. Array.unsafe_get data !r1 +. 1.0));
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    w := !w + dw
+  done
+
+let inner_acc3_big data ~n ~d0 ~d1 ~dw r0' r1' w0 =
+  let r0 = ref r0' and r1 = ref r1' and w = ref w0 in
+  for _ = 1 to n do
+    let a = !w in
+    Bigarray.Array1.unsafe_set data a
+      (Bigarray.Array1.unsafe_get data a
+      +. (Bigarray.Array1.unsafe_get data !r0
+         +. Bigarray.Array1.unsafe_get data !r1 +. 1.0));
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    w := !w + dw
+  done
+
+(* Generic fallback: running addresses live in scratch arrays bumped in
+   place - one add per reference per iteration, against the
+   interpreter's O(nesting) multiply-add per reference.  The cursor
+   bump is fused into the read-sum pass (one sweep over the cursor
+   array per iteration, not two), and the overwhelmingly common
+   single-write body gets its own variant with the accumulate dispatch
+   and the write cursor hoisted out of the array. *)
+let inner_generic1_flat (data : float array) ~n ~nr ~(rd : int array) ~dw
+    ~is_acc (ra : int array) w0 =
+  let w = ref w0 in
+  for _ = 1 to n do
+    let s = ref 0.0 in
+    for i = 0 to nr - 1 do
+      let a = Array.unsafe_get ra i in
+      s := !s +. Array.unsafe_get data a;
+      Array.unsafe_set ra i (a + Array.unsafe_get rd i)
+    done;
+    let v = !s +. 1.0 in
+    let a = !w in
+    if is_acc then Array.unsafe_set data a (Array.unsafe_get data a +. v)
+    else Array.unsafe_set data a v;
+    w := !w + dw
+  done
+
+let inner_generic1_big data ~n ~nr ~(rd : int array) ~dw ~is_acc
+    (ra : int array) w0 =
+  let w = ref w0 in
+  for _ = 1 to n do
+    let s = ref 0.0 in
+    for i = 0 to nr - 1 do
+      let a = Array.unsafe_get ra i in
+      s := !s +. Bigarray.Array1.unsafe_get data a;
+      Array.unsafe_set ra i (a + Array.unsafe_get rd i)
+    done;
+    let v = !s +. 1.0 in
+    let a = !w in
+    if is_acc then
+      Bigarray.Array1.unsafe_set data a (Bigarray.Array1.unsafe_get data a +. v)
+    else Bigarray.Array1.unsafe_set data a v;
+    w := !w + dw
+  done
+
+(* Arity-unrolled single-write variants: same shape-agnostic bumped
+   cursors, but held in registers instead of a scratch array once the
+   read count is known.  Kills the per-read loop control and the cursor
+   array traffic, which dominate [inner_generic1] for short bodies. *)
+let inner_gen2_flat (data : float array) ~n ~(rd : int array) ~dw ~is_acc
+    (ra : int array) w0 =
+  let r0 = ref ra.(0) and r1 = ref ra.(1) and w = ref w0 in
+  let d0 = rd.(0) and d1 = rd.(1) in
+  for _ = 1 to n do
+    let v = Array.unsafe_get data !r0 +. Array.unsafe_get data !r1 +. 1.0 in
+    let a = !w in
+    if is_acc then Array.unsafe_set data a (Array.unsafe_get data a +. v)
+    else Array.unsafe_set data a v;
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    w := !w + dw
+  done
+
+let inner_gen3_flat (data : float array) ~n ~(rd : int array) ~dw ~is_acc
+    (ra : int array) w0 =
+  let r0 = ref ra.(0) and r1 = ref ra.(1) and r2 = ref ra.(2) and w = ref w0 in
+  let d0 = rd.(0) and d1 = rd.(1) and d2 = rd.(2) in
+  for _ = 1 to n do
+    let v =
+      Array.unsafe_get data !r0 +. Array.unsafe_get data !r1
+      +. Array.unsafe_get data !r2 +. 1.0
+    in
+    let a = !w in
+    if is_acc then Array.unsafe_set data a (Array.unsafe_get data a +. v)
+    else Array.unsafe_set data a v;
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    r2 := !r2 + d2;
+    w := !w + dw
+  done
+
+let inner_gen4_flat (data : float array) ~n ~(rd : int array) ~dw ~is_acc
+    (ra : int array) w0 =
+  let r0 = ref ra.(0)
+  and r1 = ref ra.(1)
+  and r2 = ref ra.(2)
+  and r3 = ref ra.(3)
+  and w = ref w0 in
+  let d0 = rd.(0) and d1 = rd.(1) and d2 = rd.(2) and d3 = rd.(3) in
+  for _ = 1 to n do
+    let v =
+      Array.unsafe_get data !r0 +. Array.unsafe_get data !r1
+      +. Array.unsafe_get data !r2 +. Array.unsafe_get data !r3 +. 1.0
+    in
+    let a = !w in
+    if is_acc then Array.unsafe_set data a (Array.unsafe_get data a +. v)
+    else Array.unsafe_set data a v;
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    r2 := !r2 + d2;
+    r3 := !r3 + d3;
+    w := !w + dw
+  done
+
+let inner_gen5_flat (data : float array) ~n ~(rd : int array) ~dw ~is_acc
+    (ra : int array) w0 =
+  let r0 = ref ra.(0)
+  and r1 = ref ra.(1)
+  and r2 = ref ra.(2)
+  and r3 = ref ra.(3)
+  and r4 = ref ra.(4)
+  and w = ref w0 in
+  let d0 = rd.(0) and d1 = rd.(1) and d2 = rd.(2) and d3 = rd.(3) and d4 = rd.(4) in
+  for _ = 1 to n do
+    let v =
+      Array.unsafe_get data !r0 +. Array.unsafe_get data !r1
+      +. Array.unsafe_get data !r2 +. Array.unsafe_get data !r3
+      +. Array.unsafe_get data !r4 +. 1.0
+    in
+    let a = !w in
+    if is_acc then Array.unsafe_set data a (Array.unsafe_get data a +. v)
+    else Array.unsafe_set data a v;
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    r2 := !r2 + d2;
+    r3 := !r3 + d3;
+    r4 := !r4 + d4;
+    w := !w + dw
+  done
+
+let inner_gen2_big data ~n ~(rd : int array) ~dw ~is_acc (ra : int array) w0 =
+  let r0 = ref ra.(0) and r1 = ref ra.(1) and w = ref w0 in
+  let d0 = rd.(0) and d1 = rd.(1) in
+  for _ = 1 to n do
+    let v =
+      Bigarray.Array1.unsafe_get data !r0
+      +. Bigarray.Array1.unsafe_get data !r1 +. 1.0
+    in
+    let a = !w in
+    if is_acc then
+      Bigarray.Array1.unsafe_set data a (Bigarray.Array1.unsafe_get data a +. v)
+    else Bigarray.Array1.unsafe_set data a v;
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    w := !w + dw
+  done
+
+let inner_gen3_big data ~n ~(rd : int array) ~dw ~is_acc (ra : int array) w0 =
+  let r0 = ref ra.(0) and r1 = ref ra.(1) and r2 = ref ra.(2) and w = ref w0 in
+  let d0 = rd.(0) and d1 = rd.(1) and d2 = rd.(2) in
+  for _ = 1 to n do
+    let v =
+      Bigarray.Array1.unsafe_get data !r0
+      +. Bigarray.Array1.unsafe_get data !r1
+      +. Bigarray.Array1.unsafe_get data !r2 +. 1.0
+    in
+    let a = !w in
+    if is_acc then
+      Bigarray.Array1.unsafe_set data a (Bigarray.Array1.unsafe_get data a +. v)
+    else Bigarray.Array1.unsafe_set data a v;
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    r2 := !r2 + d2;
+    w := !w + dw
+  done
+
+let inner_gen4_big data ~n ~(rd : int array) ~dw ~is_acc (ra : int array) w0 =
+  let r0 = ref ra.(0)
+  and r1 = ref ra.(1)
+  and r2 = ref ra.(2)
+  and r3 = ref ra.(3)
+  and w = ref w0 in
+  let d0 = rd.(0) and d1 = rd.(1) and d2 = rd.(2) and d3 = rd.(3) in
+  for _ = 1 to n do
+    let v =
+      Bigarray.Array1.unsafe_get data !r0
+      +. Bigarray.Array1.unsafe_get data !r1
+      +. Bigarray.Array1.unsafe_get data !r2
+      +. Bigarray.Array1.unsafe_get data !r3 +. 1.0
+    in
+    let a = !w in
+    if is_acc then
+      Bigarray.Array1.unsafe_set data a (Bigarray.Array1.unsafe_get data a +. v)
+    else Bigarray.Array1.unsafe_set data a v;
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    r2 := !r2 + d2;
+    r3 := !r3 + d3;
+    w := !w + dw
+  done
+
+let inner_gen5_big data ~n ~(rd : int array) ~dw ~is_acc (ra : int array) w0 =
+  let r0 = ref ra.(0)
+  and r1 = ref ra.(1)
+  and r2 = ref ra.(2)
+  and r3 = ref ra.(3)
+  and r4 = ref ra.(4)
+  and w = ref w0 in
+  let d0 = rd.(0) and d1 = rd.(1) and d2 = rd.(2) and d3 = rd.(3) and d4 = rd.(4) in
+  for _ = 1 to n do
+    let v =
+      Bigarray.Array1.unsafe_get data !r0
+      +. Bigarray.Array1.unsafe_get data !r1
+      +. Bigarray.Array1.unsafe_get data !r2
+      +. Bigarray.Array1.unsafe_get data !r3
+      +. Bigarray.Array1.unsafe_get data !r4 +. 1.0
+    in
+    let a = !w in
+    if is_acc then
+      Bigarray.Array1.unsafe_set data a (Bigarray.Array1.unsafe_get data a +. v)
+    else Bigarray.Array1.unsafe_set data a v;
+    r0 := !r0 + d0;
+    r1 := !r1 + d1;
+    r2 := !r2 + d2;
+    r3 := !r3 + d3;
+    r4 := !r4 + d4;
+    w := !w + dw
+  done
+
+let inner_generic_flat (data : float array) ~n ~nr ~nw ~(rd : int array)
+    ~(wd : int array) ~(acc : bool array) (ra : int array) (wa : int array) =
+  for _ = 1 to n do
+    let s = ref 0.0 in
+    for i = 0 to nr - 1 do
+      let a = Array.unsafe_get ra i in
+      s := !s +. Array.unsafe_get data a;
+      Array.unsafe_set ra i (a + Array.unsafe_get rd i)
+    done;
+    let v = !s +. 1.0 in
+    for i = 0 to nw - 1 do
+      let a = Array.unsafe_get wa i in
+      (if Array.unsafe_get acc i then
+         Array.unsafe_set data a (Array.unsafe_get data a +. v)
+       else Array.unsafe_set data a v);
+      Array.unsafe_set wa i (a + Array.unsafe_get wd i)
+    done
+  done
+
+let inner_generic_big data ~n ~nr ~nw ~(rd : int array) ~(wd : int array)
+    ~(acc : bool array) (ra : int array) (wa : int array) =
+  for _ = 1 to n do
+    let s = ref 0.0 in
+    for i = 0 to nr - 1 do
+      let a = Array.unsafe_get ra i in
+      s := !s +. Bigarray.Array1.unsafe_get data a;
+      Array.unsafe_set ra i (a + Array.unsafe_get rd i)
+    done;
+    let v = !s +. 1.0 in
+    for i = 0 to nw - 1 do
+      let a = Array.unsafe_get wa i in
+      (if Array.unsafe_get acc i then
+         Bigarray.Array1.unsafe_set data a
+           (Bigarray.Array1.unsafe_get data a +. v)
+       else Bigarray.Array1.unsafe_set data a v);
+      Array.unsafe_set wa i (a + Array.unsafe_get wd i)
+    done
+  done
+
+let run_box p storage (b : box) =
+  let d = p.nesting in
+  if Array.length b <> d then invalid_arg "Kernel.run_box: box arity mismatch";
+  if Array.exists (fun (lo, hi) -> hi < lo) b then ()
+  else begin
+    let ord = p.order in
+    let ext = Array.map (fun k -> let lo, hi = b.(k) in hi - lo + 1) ord in
+    let nr = Array.length p.reads and nw = Array.length p.writes in
+    let start (r : Exec.cref) =
+      let a = ref r.Exec.c in
+      Array.iteri (fun k (lo, _) -> a := !a + (r.Exec.m.(k) * lo)) b;
+      !a
+    in
+    (* Running addresses (outer axes), and per-ref deltas permuted into
+       traversal order. *)
+    let ra = Array.map start p.reads in
+    let wa = Array.map (fun (w, _) -> start w) p.writes in
+    let rdelta =
+      Array.map (fun (r : Exec.cref) -> Array.map (fun k -> r.Exec.m.(k)) ord) p.reads
+    in
+    let wdelta =
+      Array.map (fun ((w : Exec.cref), _) -> Array.map (fun k -> w.Exec.m.(k)) ord)
+        p.writes
+    in
+    let n = ext.(d - 1) in
+    let rd = Array.map (fun dl -> dl.(d - 1)) rdelta in
+    let wd = Array.map (fun dl -> dl.(d - 1)) wdelta in
+    (* [inner ra wa] runs the innermost row starting at the given
+       addresses; it must not mutate its arguments. *)
+    let inner =
+      match (p.shape, Exec.view storage) with
+      | Copy, `Flat data ->
+          let dr = rd.(0) and dw = wd.(0) in
+          fun (ra : int array) (wa : int array) ->
+            inner_copy_flat data ~n ~dr ~dw ra.(0) wa.(0)
+      | Copy, `Big data ->
+          let dr = rd.(0) and dw = wd.(0) in
+          fun ra wa -> inner_copy_big data ~n ~dr ~dw ra.(0) wa.(0)
+      | Stencil5, `Flat data ->
+          let d = rd.(0) and dw = wd.(0) in
+          let o1 = ra.(1) - ra.(0)
+          and o2 = ra.(2) - ra.(0)
+          and o3 = ra.(3) - ra.(0)
+          and o4 = ra.(4) - ra.(0) in
+          fun (ra : int array) (wa : int array) ->
+            inner_stencil5_flat data ~n ~d ~dw ~o1 ~o2 ~o3 ~o4 ra.(0) wa.(0)
+      | Stencil5, `Big data ->
+          let d = rd.(0) and dw = wd.(0) in
+          let o1 = ra.(1) - ra.(0)
+          and o2 = ra.(2) - ra.(0)
+          and o3 = ra.(3) - ra.(0)
+          and o4 = ra.(4) - ra.(0) in
+          fun ra wa ->
+            inner_stencil5_big data ~n ~d ~dw ~o1 ~o2 ~o3 ~o4 ra.(0) wa.(0)
+      | Acc3, `Flat data ->
+          let d0 = rd.(0) and d1 = rd.(1) and dw = wd.(0) in
+          fun ra wa -> inner_acc3_flat data ~n ~d0 ~d1 ~dw ra.(0) ra.(1) wa.(0)
+      | Acc3, `Big data ->
+          let d0 = rd.(0) and d1 = rd.(1) and dw = wd.(0) in
+          fun ra wa -> inner_acc3_big data ~n ~d0 ~d1 ~dw ra.(0) ra.(1) wa.(0)
+      | Generic, `Flat data when nw = 1 ->
+          let dw = wd.(0) and is_acc = snd p.writes.(0) in
+          let unrolled =
+            match nr with
+            | 2 -> Some inner_gen2_flat
+            | 3 -> Some inner_gen3_flat
+            | 4 -> Some inner_gen4_flat
+            | 5 -> Some inner_gen5_flat
+            | _ -> None
+          in
+          (match unrolled with
+          | Some f -> fun ra wa -> f data ~n ~rd ~dw ~is_acc ra wa.(0)
+          | None ->
+              let ras = Array.make (max nr 1) 0 in
+              fun ra wa ->
+                Array.blit ra 0 ras 0 nr;
+                inner_generic1_flat data ~n ~nr ~rd ~dw ~is_acc ras wa.(0))
+      | Generic, `Big data when nw = 1 ->
+          let dw = wd.(0) and is_acc = snd p.writes.(0) in
+          let unrolled =
+            match nr with
+            | 2 -> Some inner_gen2_big
+            | 3 -> Some inner_gen3_big
+            | 4 -> Some inner_gen4_big
+            | 5 -> Some inner_gen5_big
+            | _ -> None
+          in
+          (match unrolled with
+          | Some f -> fun ra wa -> f data ~n ~rd ~dw ~is_acc ra wa.(0)
+          | None ->
+              let ras = Array.make (max nr 1) 0 in
+              fun ra wa ->
+                Array.blit ra 0 ras 0 nr;
+                inner_generic1_big data ~n ~nr ~rd ~dw ~is_acc ras wa.(0))
+      | Generic, `Flat data ->
+          let acc = Array.map snd p.writes in
+          let ras = Array.make (max nr 1) 0 and was = Array.make (max nw 1) 0 in
+          fun ra wa ->
+            Array.blit ra 0 ras 0 nr;
+            Array.blit wa 0 was 0 nw;
+            inner_generic_flat data ~n ~nr ~nw ~rd ~wd ~acc ras was
+      | Generic, `Big data ->
+          let acc = Array.map snd p.writes in
+          let ras = Array.make (max nr 1) 0 and was = Array.make (max nw 1) 0 in
+          fun ra wa ->
+            Array.blit ra 0 ras 0 nr;
+            Array.blit wa 0 was 0 nw;
+            inner_generic_big data ~n ~nr ~nw ~rd ~wd ~acc ras was
+    in
+    let rec go k =
+      if k = d - 1 then inner ra wa
+      else begin
+        for _ = 1 to ext.(k) do
+          go (k + 1);
+          for i = 0 to nr - 1 do
+            ra.(i) <- ra.(i) + rdelta.(i).(k)
+          done;
+          for i = 0 to nw - 1 do
+            wa.(i) <- wa.(i) + wdelta.(i).(k)
+          done
+        done;
+        for i = 0 to nr - 1 do
+          ra.(i) <- ra.(i) - (ext.(k) * rdelta.(i).(k))
+        done;
+        for i = 0 to nw - 1 do
+          wa.(i) <- wa.(i) - (ext.(k) * wdelta.(i).(k))
+        done
+      end
+    in
+    go 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Schedules and parallel execution                                    *)
+(* ------------------------------------------------------------------ *)
+
+let boxes_of_schedule sched =
+  let open Partition in
+  let ranges = Codegen.rect_tile_ranges sched in
+  let n = sched.Codegen.nprocs in
+  let own = Codegen.owner sched in
+  let by = Array.make n [] in
+  List.iter
+    (fun (b : box) ->
+      let corner = Array.map fst b in
+      let p = own corner in
+      by.(p) <- b :: by.(p))
+    ranges;
+  Array.map (fun l -> Array.of_list (List.rev l)) by
+
+let check_boxes pool p boxes =
+  if Array.length boxes <> Pool.size pool then
+    invalid_arg
+      (Printf.sprintf "Kernel: %d-domain pool given %d-way boxes"
+         (Pool.size pool) (Array.length boxes));
+  Array.iter
+    (Array.iter (fun (b : box) ->
+         if Array.length b <> p.nesting then
+           invalid_arg "Kernel: box arity mismatch"))
+    boxes
+
+let one_pass pool p storage ~boxes ~steps ~seconds ~iterations =
+  Pool.run pool (fun me barrier ->
+      let sense = ref false in
+      let mine = boxes.(me) in
+      let per_step = Array.fold_left (fun acc b -> acc + box_volume b) 0 mine in
+      let t0 = Unix.gettimeofday () in
+      for _step = 1 to steps do
+        Pool.Barrier.wait barrier ~sense;
+        for i = 0 to Array.length mine - 1 do
+          run_box p storage (Array.unsafe_get mine i)
+        done;
+        Pool.Barrier.wait barrier ~sense
+      done;
+      seconds.(me) <- Unix.gettimeofday () -. t0;
+      iterations.(me) <- per_step * steps)
+
+let time pool p ~boxes ~steps ~repeats =
+  check_boxes pool p boxes;
+  if repeats < 1 then invalid_arg "Kernel.time: repeats < 1";
+  let nprocs = Pool.size pool in
+  let best_wall = ref infinity in
+  let best_seconds = Array.make nprocs 0.0 in
+  let best_iterations = Array.make nprocs 0 in
+  for _rep = 1 to repeats do
+    let storage = Exec.alloc p.compiled in
+    let seconds = Array.make nprocs 0.0 in
+    let iterations = Array.make nprocs 0 in
+    let t0 = Unix.gettimeofday () in
+    one_pass pool p storage ~boxes ~steps ~seconds ~iterations;
+    let wall = Unix.gettimeofday () -. t0 in
+    ignore (Sys.opaque_identity (Exec.checksum storage));
+    if wall < !best_wall then begin
+      best_wall := wall;
+      Array.blit seconds 0 best_seconds 0 nprocs;
+      Array.blit iterations 0 best_iterations 0 nprocs
+    end
+  done;
+  (!best_wall, best_seconds, best_iterations)
+
+let sequential p ~steps =
+  let storage = Exec.alloc p.compiled in
+  let bounds = Nest.bounds (Exec.nest p.compiled) in
+  let whole = Array.map (fun (lo, hi) -> (lo, hi)) bounds in
+  for _step = 1 to steps do
+    run_box p storage whole
+  done;
+  storage

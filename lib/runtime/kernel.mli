@@ -1,0 +1,102 @@
+(** Kernel lowering: compile a [(nest, tile)] pair into specialized
+    inner loops instead of interpreting the body point by point.
+
+    {!Exec} pays, at {e every} iteration, one [c + m . i] multiply-add
+    per reference plus a dispatch through the storage representation.
+    But over a rectangular tile box the address of a compiled reference
+    ({!Exec.cref}) changes by the compile-time constant [m.(k)] per unit
+    step along axis [k].  A plan therefore precomputes the per-axis
+    address deltas once, seeds one running address per reference at the
+    box corner, and executes the box with incremental bumps only - plus:
+
+    - {b traversal order}: when a conservative safety analysis proves
+      reordering bit-exact (injective write maps, at most one
+      same-address fiber axis per accumulate, no read/write aliasing
+      besides identical maps), the axis with the most unit-stride
+      references is rotated innermost so the inner loop walks arrays
+      contiguously;
+    - {b shape specialization}: the dominant body arities - 1-read
+      copy, 5-point stencil, 2-read accumulate (matmul) - get
+      hand-specialized unsafe loops over the concrete storage, with a
+      generic bumped-address loop as the always-correct fallback.
+
+    Value semantics are the interpreter's, bit for bit: reads summed in
+    body order, [+. 1.0], the result stored or added through every
+    write in body order.  Fuzz oracle 8 ({!Proptest.Oracle}) holds the
+    two engines to byte-identical final buffers. *)
+
+open Loopir
+
+type box = (int * int) array
+(** Inclusive per-axis bounds, indexed by loop axis - the clipped
+    rectangles {!Partition.Codegen.rect_tile_ranges} produces. *)
+
+type plan
+
+val plan : ?force_generic:bool -> ?order:int array -> Exec.compiled -> plan
+(** Lower a compiled nest.  [force_generic] disables shape
+    specialization (benchmark baseline for isolating the incremental
+    addressing win).  [order] overrides the traversal order ({e
+    bypassing} the safety analysis - test/bench use only); it must be a
+    permutation of the axes, outermost first. *)
+
+val compiled : plan -> Exec.compiled
+val order : plan -> int array
+(** Chosen traversal order, outermost first.  The identity permutation
+    unless the nest is {!reorderable} and a different innermost axis has
+    strictly more unit-stride references. *)
+
+val reorderable : plan -> bool
+(** Whether the safety analysis proved every traversal order bit-exact
+    (see the module preamble for the conditions).  In-place relaxations
+    whose reads overlap their writes are the canonical [false]. *)
+
+val shape : plan -> string
+(** The specialization picked: ["copy"], ["stencil5"], ["accumulate3"],
+    or ["generic"]. *)
+
+val strides : plan -> (Reference.t * int array) list
+(** Each body reference with its per-axis address deltas [m] (original
+    axis order): [m.(k)] is exactly
+    [address ref (i + e_k) - address ref i] for any in-bounds [i]. *)
+
+val box_volume : box -> int
+
+val run_box : plan -> Exec.storage -> box -> unit
+(** Execute every iteration of the box once (one parallel step's worth
+    of one tile).  Degenerate axes (extent 1) are fine; an empty box
+    ([hi < lo] somewhere) is a no-op. *)
+
+val boxes_of_schedule : Partition.Codegen.schedule -> box array array
+(** The schedule's clipped tile boxes grouped by owning processor, each
+    owner's boxes in tile-identifier order - [result.(p)] is domain
+    [p]'s work for one step. *)
+
+val one_pass :
+  Pool.t ->
+  plan ->
+  Exec.storage ->
+  boxes:box array array ->
+  steps:int ->
+  seconds:float array ->
+  iterations:int array ->
+  unit
+(** Run [steps] barrier-separated sweeps, domain [p] executing
+    [boxes.(p)]; fills per-domain wall seconds and iteration counts.
+    Mirrors {!Exec}'s static one-pass structure (two barrier waits per
+    step) so timings are comparable. *)
+
+val time :
+  Pool.t ->
+  plan ->
+  boxes:box array array ->
+  steps:int ->
+  repeats:int ->
+  float * float array * int array
+(** [(wall, per_domain_seconds, per_domain_iterations)] of the fastest
+    of [repeats] runs, each on fresh operands - the kernel-path
+    analogue of {!Exec.time}. *)
+
+val sequential : plan -> steps:int -> Exec.storage
+(** The whole iteration space as one box on the calling domain, [steps]
+    times, on fresh operands. *)

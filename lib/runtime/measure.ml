@@ -6,16 +6,30 @@ let exact_limit = 1 lsl 24
 let default_bloom_bits = 1 lsl 22
 let bloom_hashes = 4
 
+(* Each instrument is owned by one domain but all of them are allocated
+   by the coordinating domain, back to back on the heap.  A guard region
+   on both sides of the payload keeps the bytes two domains hammer from
+   ever sharing a cache line, so the instrumented pass does not serialize
+   on false sharing at the object boundaries. *)
+let pad = 128
+
 type touched =
-  | Bitset of Bytes.t
-  | Filter of { bits : Bytes.t; m : int }
+  | Bitset of { bits : Bytes.t; len : int }
+      (** payload is [bits.[pad .. pad+len-1]] *)
+  | Filter of { bits : Bytes.t; len : int; m : int }
+
+let padded len = Bytes.make (len + (2 * pad)) '\000'
 
 let touched mode ~universe =
   if universe < 0 then invalid_arg "Measure.touched: negative universe";
-  let bitset n = Bitset (Bytes.make ((n + 7) / 8) '\000') in
+  let bitset n =
+    let len = (n + 7) / 8 in
+    Bitset { bits = padded len; len }
+  in
   let bloom bits =
     let bits = max 64 bits in
-    Filter { bits = Bytes.make ((bits + 7) / 8) '\000'; m = (bits + 7) / 8 * 8 }
+    let len = (bits + 7) / 8 in
+    Filter { bits = padded len; len; m = len * 8 }
   in
   match mode with
   | Exact -> bitset universe
@@ -23,7 +37,7 @@ let touched mode ~universe =
   | Auto -> if universe <= exact_limit then bitset universe else bloom default_bloom_bits
 
 let set_bit bytes i =
-  let byte = i lsr 3 and mask = 1 lsl (i land 7) in
+  let byte = pad + (i lsr 3) and mask = 1 lsl (i land 7) in
   let old = Char.code (Bytes.unsafe_get bytes byte) in
   if old land mask = 0 then
     Bytes.unsafe_set bytes byte (Char.unsafe_chr (old lor mask))
@@ -40,8 +54,8 @@ let mix2 x =
 
 let touch t addr =
   match t with
-  | Bitset bytes -> set_bit bytes addr
-  | Filter { bits; m } ->
+  | Bitset { bits; _ } -> set_bit bits addr
+  | Filter { bits; m; _ } ->
       let h1 = mix1 addr and h2 = mix2 addr lor 1 in
       for i = 0 to bloom_hashes - 1 do
         let h = (h1 + (i * h2)) land max_int in
@@ -52,15 +66,17 @@ let popcount_byte = Array.init 256 (fun b ->
     let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
     go b 0)
 
-let ones bytes =
+let ones bytes len =
   let total = ref 0 in
-  Bytes.iter (fun c -> total := !total + popcount_byte.(Char.code c)) bytes;
+  for i = pad to pad + len - 1 do
+    total := !total + popcount_byte.(Char.code (Bytes.unsafe_get bytes i))
+  done;
   !total
 
 let touched_count = function
-  | Bitset bytes -> ones bytes
-  | Filter { bits; m } ->
-      let x = ones bits in
+  | Bitset { bits; len } -> ones bits len
+  | Filter { bits; len; m } ->
+      let x = ones bits len in
       if x >= m then max_int
       else
         let m = float_of_int m and x = float_of_int x in
@@ -71,21 +87,22 @@ let touched_count = function
 
 let is_exact = function Bitset _ -> true | Filter _ -> false
 
-let bytes_of = function Bitset b -> b | Filter { bits; _ } -> bits
+let bytes_of = function
+  | Bitset { bits; len } -> (bits, len)
+  | Filter { bits; len; _ } -> (bits, len)
 
 let union_count ts =
   if Array.length ts = 0 then 0
   else begin
-    let first = bytes_of ts.(0) in
+    let first, len = bytes_of ts.(0) in
     let acc = Bytes.copy first in
-    let len = Bytes.length acc in
     Array.iteri
       (fun i t ->
         if i > 0 then begin
-          let b = bytes_of t in
-          if Bytes.length b <> len then
+          let b, blen = bytes_of t in
+          if blen <> len then
             invalid_arg "Measure.union_count: mismatched sets";
-          for j = 0 to len - 1 do
+          for j = pad to pad + len - 1 do
             Bytes.unsafe_set acc j
               (Char.unsafe_chr
                  (Char.code (Bytes.unsafe_get acc j)
@@ -95,8 +112,8 @@ let union_count ts =
       ts;
     let merged =
       match ts.(0) with
-      | Bitset _ -> Bitset acc
-      | Filter { m; _ } -> Filter { bits = acc; m }
+      | Bitset _ -> Bitset { bits = acc; len }
+      | Filter { m; _ } -> Filter { bits = acc; len; m }
     in
     touched_count merged
   end

@@ -7,7 +7,12 @@
     element spaces use an exact bitset over the {!Machine.Layout}
     address range; spaces too large to bitset fall back to a Bloom
     filter whose cardinality estimate [-m/k ln(1 - ones/m)] is within a
-    few permille at the occupancies we produce. *)
+    few permille at the occupancies we produce.
+
+    Each per-domain set pads its payload with a cache-line-sized guard
+    region on both sides, so instruments allocated back to back never
+    share a line between two writing domains (no false sharing in the
+    instrumented pass). *)
 
 type mode =
   | Auto  (** exact up to {!exact_limit} elements, Bloom beyond *)

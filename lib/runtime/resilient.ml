@@ -45,7 +45,33 @@ type partitioned = {
   nprocs : int;
   tiles : Ivec.t array array;
   owners : int array;
+  boxes : (int * int) array option array;
 }
+
+(* A tile's points arrive in lexicographic order; when they are exactly
+   a full rectangular box (volume = count, all points distinct and
+   inside the bounding box), {!Kernel.run_box} over that box visits the
+   same iterations - the precondition for the kernel fast path. *)
+let bounding_box (pts : Ivec.t array) =
+  if Array.length pts = 0 then None
+  else begin
+    let d = Array.length pts.(0) in
+    let lo = Array.copy pts.(0) and hi = Array.copy pts.(0) in
+    Array.iter
+      (fun p ->
+        for k = 0 to d - 1 do
+          if p.(k) < lo.(k) then lo.(k) <- p.(k);
+          if p.(k) > hi.(k) then hi.(k) <- p.(k)
+        done)
+      pts;
+    let volume = ref 1 in
+    for k = 0 to d - 1 do
+      volume := !volume * (hi.(k) - lo.(k) + 1)
+    done;
+    if !volume = Array.length pts then
+      Some (Array.init d (fun k -> (lo.(k), hi.(k))))
+    else None
+  end
 
 let tiles_of_schedule sched =
   let open Partition in
@@ -66,10 +92,14 @@ let tiles_of_schedule sched =
         pts)
     per_proc;
   let keys = Array.of_list (List.rev !rev_keys) in
+  let tiles =
+    Array.map (fun k -> Array.of_list (List.rev !(Hashtbl.find tbl k))) keys
+  in
   {
     nprocs;
-    tiles = Array.map (fun k -> Array.of_list (List.rev !(Hashtbl.find tbl k))) keys;
+    tiles;
     owners = Array.map fst keys;
+    boxes = Array.map bounding_box tiles;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -111,7 +141,7 @@ type ctx = {
   cfg : config;
   plan : Fault.plan;
   storage : Exec.storage;
-  run_point : Ivec.t -> unit;
+  exec_tile : int -> unit;  (** run every point of the tile once *)
   plain_writes : Ivec.t -> int list;
   steps : int;
   recover : bool;  (** tile-level crash recovery enabled *)
@@ -211,10 +241,7 @@ let run_tile ctx ds ~step t =
           raise Injected_corruption
       | Fault.Stall ms -> interruptible_stall ctx ms));
   if Atomic.get g.aborted then raise Halt;
-  let pts = ctx.tiles.(t) in
-  for i = 0 to Array.length pts - 1 do
-    ctx.run_point (Array.unsafe_get pts i)
-  done;
+  ctx.exec_tile t;
   Atomic.incr ctx.done_count.(t);
   Atomic.incr ctx.hb.(ds.me)
 
@@ -359,11 +386,13 @@ let job ctx me =
 (* Attempt driver                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let make_ctx cfg plan compiled steps (p : partitioned) ~recover =
+let make_ctx cfg plan compiled steps (p : partitioned) ~recover ~kernels =
   let n = p.nprocs in
   let ntiles = Array.length p.tiles in
   if Array.length p.owners <> ntiles then
     invalid_arg "Resilient: owners/tiles length mismatch";
+  if Array.length p.boxes <> ntiles then
+    invalid_arg "Resilient: boxes/tiles length mismatch";
   Array.iter
     (fun o -> if o < 0 || o >= n then invalid_arg "Resilient: owner out of range")
     p.owners;
@@ -375,11 +404,29 @@ let make_ctx cfg plan compiled steps (p : partitioned) ~recover =
     Array.map Array.of_list by
   in
   let storage = Exec.alloc compiled in
+  let exec_tile =
+    let run_point = Exec.exec_point compiled storage in
+    let by_points t =
+      let pts = p.tiles.(t) in
+      for i = 0 to Array.length pts - 1 do
+        run_point (Array.unsafe_get pts i)
+      done
+    in
+    match kernels with
+    | None -> by_points
+    | Some kplan ->
+        fun t ->
+          (* Box tiles take the specialized strided loops; ragged tiles
+             (clipped parallelepipeds) keep the point interpreter. *)
+          (match p.boxes.(t) with
+          | Some b -> Kernel.run_box kplan storage b
+          | None -> by_points t)
+  in
   {
     cfg;
     plan;
     storage;
-    run_point = Exec.exec_point compiled storage;
+    exec_tile;
     plain_writes = Exec.plain_write_addresses compiled;
     steps;
     recover;
@@ -408,8 +455,8 @@ let make_ctx cfg plan compiled steps (p : partitioned) ~recover =
       };
   }
 
-let run_attempt cfg plan compiled steps ~partition ~size ~recover ~attempt_no
-    ~backoff_ms ~pre_events =
+let run_attempt cfg plan compiled steps ~partition ~size ~recover ~kernels
+    ~attempt_no ~backoff_ms ~pre_events =
   let t0 = now () in
   let failed ?(events = pre_events) ?(tiles_total = 0) ?(reexec = 0)
       ?(retired = []) reason =
@@ -434,7 +481,7 @@ let run_attempt cfg plan compiled steps ~partition ~size ~recover ~attempt_no
         (Printf.sprintf "partition returned %d-way work for %d domains"
            p.nprocs size)
   | p -> (
-      match make_ctx cfg plan compiled steps p ~recover with
+      match make_ctx cfg plan compiled steps p ~recover ~kernels with
       | exception exn ->
           failed (Printf.sprintf "bad partition: %s" (Printexc.to_string exn))
       | ctx ->
@@ -485,10 +532,11 @@ let run_attempt cfg plan compiled steps ~partition ~size ~recover ~attempt_no
 (* Policy loop                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let execute ?(config = default_config) ?(plan = Fault.none) ~compiled ~steps
-    ~partition ~nprocs () =
+let execute ?(config = default_config) ?(plan = Fault.none)
+    ?(kernels = false) ~compiled ~steps ~partition ~nprocs () =
   if nprocs < 1 then invalid_arg "Resilient.execute: nprocs < 1";
   if steps < 1 then invalid_arg "Resilient.execute: steps < 1";
+  let kernels = if kernels then Some (Kernel.plan compiled) else None in
   let t_job = now () in
   let tile_retry = Exec.reexecution_safe compiled in
   let recover = config.policy <> Fail_fast && tile_retry in
@@ -547,7 +595,7 @@ let execute ?(config = default_config) ?(plan = Fault.none) ~compiled ~steps
       if backoff_ms > 0 then Unix.sleepf (float_of_int backoff_ms /. 1000.0);
       let att, success =
         run_attempt config plan compiled steps ~partition ~size ~recover
-          ~attempt_no:(next_no ()) ~backoff_ms ~pre_events
+          ~kernels ~attempt_no:(next_no ()) ~backoff_ms ~pre_events
       in
       attempts_rev := att :: !attempts_rev;
       match success with

@@ -66,6 +66,10 @@ type partitioned = {
   nprocs : int;
   tiles : Ivec.t array array;  (** tile id -> iteration points, in order *)
   owners : int array;  (** tile id -> preferred domain, [< nprocs] *)
+  boxes : (int * int) array option array;
+      (** tile id -> inclusive per-axis bounds when the tile's points
+          are exactly a rectangular box ([None] for ragged tiles), the
+          precondition for executing it through {!Kernel.run_box} *)
 }
 (** Tile-granular work: the unit of claiming, stealing, completion
     tracking and recovery. *)
@@ -73,11 +77,13 @@ type partitioned = {
 val tiles_of_schedule : Partition.Codegen.schedule -> partitioned
 (** Group the schedule's iteration space into its compile-time tiles
     (via {!Partition.Codegen.tile_id}), owners from
-    {!Partition.Codegen.owner}. *)
+    {!Partition.Codegen.owner}; [boxes] holds each tile's bounding box
+    when (and only when) the tile fills it completely. *)
 
 val execute :
   ?config:config ->
   ?plan:Fault.plan ->
+  ?kernels:bool ->
   compiled:Exec.compiled ->
   steps:int ->
   partition:(nprocs:int -> partitioned) ->
@@ -86,6 +92,8 @@ val execute :
   Report.t * float array
 (** Run [steps] outer iterations of the nest under the policy, starting
     on [nprocs] domains partitioned by [partition ~nprocs] (called again
-    with smaller counts when degrading).  Returns the structured report
-    and the final operand buffer (meaningful when
-    [(fst r).Report.completed]). *)
+    with smaller counts when degrading).  With [kernels], box tiles run
+    through {!Kernel}'s specialized strided loops (ragged tiles keep the
+    point interpreter); recovery semantics are unchanged since the tile
+    stays the unit of completion.  Returns the structured report and the
+    final operand buffer (meaningful when [(fst r).Report.completed]). *)

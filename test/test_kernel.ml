@@ -1,0 +1,345 @@
+(* Tests for the kernel-lowering layer: stride precomputation against
+   Exec.address on the whole gallery, traversal-order safety, shape
+   selection, degenerate boxes, and bit-identical agreement with the
+   interpreter sequentially and on a domain pool. *)
+
+open Loopir
+open Loopart
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let steps_of nest = Runtime.Exec.steps_of_nest nest
+
+(* All permutations of [0 .. n-1]. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun p -> x :: p)
+            (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+let axis_permutations n =
+  List.map Array.of_list (permutations (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Stride precomputation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The plan's per-axis deltas must equal the address difference of one
+   step along that axis, for every reference of every gallery nest -
+   checked at the space's lower corner and at an interior point, which
+   together pin the affine address map. *)
+let test_strides_match_address () =
+  List.iter
+    (fun (name, nest) ->
+      let compiled = Runtime.Exec.compile nest in
+      let plan = Runtime.Kernel.plan compiled in
+      let bounds = Nest.bounds nest in
+      let corner = Array.map fst bounds in
+      let mid =
+        Array.map (fun (lo, hi) -> lo + ((hi - lo) / 2)) bounds
+      in
+      List.iter
+        (fun ((r : Reference.t), m) ->
+          let addr = Runtime.Exec.address compiled r in
+          check
+            (Printf.sprintf "%s/%s: delta arity" name r.Reference.array_name)
+            (Nest.nesting nest) (Array.length m);
+          Array.iteri
+            (fun k (lo, hi) ->
+              if hi > lo then
+                List.iter
+                  (fun base ->
+                    let at = Array.copy base in
+                    at.(k) <- lo;
+                    let stepped = Array.copy base in
+                    stepped.(k) <- lo + 1;
+                    check
+                      (Printf.sprintf "%s/%s axis %d" name
+                         r.Reference.array_name k)
+                      m.(k)
+                      (addr stepped - addr at))
+                  [ corner; mid ])
+            bounds)
+        (Runtime.Kernel.strides plan))
+    Programs.all
+
+(* ------------------------------------------------------------------ *)
+(* Traversal order                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let buffer_of_plan plan ~steps =
+  Runtime.Exec.to_float_array (Runtime.Kernel.sequential plan ~steps)
+
+(* For nests the analysis proves reorderable, every axis permutation
+   must reproduce the interpreter's buffer bit for bit - including
+   matmul, whose accumulate chains run along the (single) k fiber. *)
+let test_permutations_preserve_results () =
+  List.iter
+    (fun nest ->
+      let name = nest.Nest.name in
+      let compiled = Runtime.Exec.compile nest in
+      let steps = steps_of nest in
+      let reference = Runtime.Exec.sequential compiled ~steps in
+      checkb
+        (Printf.sprintf "%s is reorderable" name)
+        true
+        (Runtime.Kernel.reorderable (Runtime.Kernel.plan compiled));
+      List.iter
+        (fun order ->
+          let plan = Runtime.Kernel.plan ~order compiled in
+          checkb
+            (Printf.sprintf "%s under order %s" name
+               (String.concat ""
+                  (List.map string_of_int (Array.to_list order))))
+            true
+            (buffer_of_plan plan ~steps = reference))
+        (axis_permutations (Nest.nesting nest)))
+    [
+      Programs.stencil5 ~n:12 ();
+      Programs.matmul ~n:8 ();
+      Programs.example3 ~n:10 ();
+    ]
+
+let test_inplace_not_reorderable () =
+  (* In-place relaxation reads the array it writes: reordering would
+     change which neighbours are fresh, so the analysis must refuse. *)
+  let compiled = Runtime.Exec.compile (Programs.relax_inplace ~n:10 ()) in
+  let plan = Runtime.Kernel.plan compiled in
+  checkb "relax_inplace not reorderable" false (Runtime.Kernel.reorderable plan);
+  checkb "identity order"
+    true
+    (Runtime.Kernel.order plan = [| 0; 1 |])
+
+let test_matmul_rotates_unit_axis_innermost () =
+  let compiled = Runtime.Exec.compile (Programs.matmul ~n:8 ()) in
+  let plan = Runtime.Kernel.plan compiled in
+  (* C[i,j] and B[k,j] walk unit stride along j, only A[i,k] along k:
+     j goes innermost, giving i,k,j. *)
+  checkb "order is i,k,j" true (Runtime.Kernel.order plan = [| 0; 2; 1 |])
+
+(* ------------------------------------------------------------------ *)
+(* Shape selection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let shape_of ?force_generic nest =
+  Runtime.Kernel.shape
+    (Runtime.Kernel.plan ?force_generic (Runtime.Exec.compile nest))
+
+(* The gallery has no 1-read body, so build the canonical copy nest. *)
+let copy_nest =
+  let open Dsl in
+  let i = var 0 and j = var 1 in
+  nest ~name:"copy2d"
+    [ doall "i" 1 8; doall "j" 1 8 ]
+    [ write "A" [ i; j ]; read "B" [ j; i ] ]
+
+let test_shapes () =
+  checks "stencil5" "stencil5" (shape_of (Programs.stencil5 ~n:8 ()));
+  checks "matmul" "accumulate3" (shape_of (Programs.matmul ~n:6 ()));
+  checks "copy" "copy" (shape_of copy_nest);
+  checks "example9 falls back" "generic" (shape_of (Programs.example9 ~n:8 ()));
+  checks "forced generic" "generic"
+    (shape_of ~force_generic:true (Programs.stencil5 ~n:8 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate and partial boxes                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_boxes_interp compiled boxes ~steps =
+  let storage = Runtime.Exec.alloc compiled in
+  let body = Runtime.Exec.exec_point compiled storage in
+  let run_box (b : (int * int) array) =
+    let d = Array.length b in
+    let point = Array.map fst b in
+    let rec go k =
+      if k = d then body point
+      else
+        let lo, hi = b.(k) in
+        for v = lo to hi do
+          point.(k) <- v;
+          go (k + 1)
+        done
+    in
+    go 0
+  in
+  for _ = 1 to steps do
+    List.iter run_box boxes
+  done;
+  Runtime.Exec.to_float_array storage
+
+let test_empty_box_is_noop () =
+  let compiled = Runtime.Exec.compile (Programs.stencil5 ~n:8 ()) in
+  let plan = Runtime.Kernel.plan compiled in
+  let storage = Runtime.Exec.alloc compiled in
+  let before = Runtime.Exec.to_float_array storage in
+  Runtime.Kernel.run_box plan storage [| (3, 2); (1, 6) |];
+  checkb "empty box leaves operands untouched" true
+    (Runtime.Exec.to_float_array storage = before);
+  check "empty volume" 0 (Runtime.Kernel.box_volume [| (3, 2); (1, 6) |])
+
+let test_degenerate_and_partial_boxes () =
+  (* Extent-1 axes, single-point boxes, and a partial cover must all
+     agree with the interpreter over the same boxes. *)
+  List.iter
+    (fun (nest, boxes) ->
+      let compiled = Runtime.Exec.compile nest in
+      let plan = Runtime.Kernel.plan compiled in
+      let storage = Runtime.Exec.alloc compiled in
+      List.iter (Runtime.Kernel.run_box plan storage) boxes;
+      checkb
+        (Printf.sprintf "%s over %d boxes" nest.Nest.name (List.length boxes))
+        true
+        (Runtime.Exec.to_float_array storage
+        = run_boxes_interp compiled boxes ~steps:1))
+    [
+      (Programs.stencil5 ~n:9 (), [ [| (2, 2); (1, 7) |]; [| (3, 6); (4, 4) |] ]);
+      (Programs.stencil5 ~n:9 (), [ [| (5, 5); (5, 5) |] ]);
+      (Programs.matmul ~n:6 (), [ [| (0, 5); (2, 2); (0, 5) |] ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Storage representations                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Satellite check for the closure-free checksum/to_float_array paths:
+   Flat and Bigarray storage must yield identical buffers and checksums
+   through both the interpreter and the kernel. *)
+let test_flat_and_bigarray_checksums_agree () =
+  List.iter
+    (fun nest ->
+      let steps = steps_of nest in
+      let flatc = Runtime.Exec.compile ~bigarray:false nest in
+      let bigc = Runtime.Exec.compile ~bigarray:true nest in
+      let flat = Runtime.Kernel.sequential (Runtime.Kernel.plan flatc) ~steps in
+      let big = Runtime.Kernel.sequential (Runtime.Kernel.plan bigc) ~steps in
+      checkb
+        (Printf.sprintf "%s: flat = big buffers" nest.Nest.name)
+        true
+        (Runtime.Exec.to_float_array flat = Runtime.Exec.to_float_array big);
+      checkb
+        (Printf.sprintf "%s: flat = big checksums" nest.Nest.name)
+        true
+        (Runtime.Exec.checksum flat = Runtime.Exec.checksum big);
+      checkb
+        (Printf.sprintf "%s: kernel = interpreter checksum" nest.Nest.name)
+        true
+        (Runtime.Exec.checksum flat
+        = Array.fold_left ( +. ) 0.0 (Runtime.Exec.sequential flatc ~steps)))
+    [ Programs.stencil5 ~n:10 (); Programs.matmul ~n:7 () ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_kernel_matches_sequential () =
+  List.iter
+    (fun (nest, nprocs) ->
+      let a = Driver.analyze ~nprocs nest in
+      let sched = Driver.schedule a in
+      let compiled = Runtime.Exec.compile nest in
+      let plan = Runtime.Kernel.plan compiled in
+      let boxes = Runtime.Kernel.boxes_of_schedule sched in
+      let steps = steps_of nest in
+      let storage = Runtime.Exec.alloc compiled in
+      let seconds = Array.make nprocs 0.0 in
+      let iterations = Array.make nprocs 0 in
+      Runtime.Pool.with_pool nprocs (fun pool ->
+          Runtime.Kernel.one_pass pool plan storage ~boxes ~steps ~seconds
+            ~iterations);
+      check
+        (Printf.sprintf "%s: every iteration executed" nest.Nest.name)
+        (steps * Array.fold_left ( * ) 1 (Nest.extents nest))
+        (Array.fold_left ( + ) 0 iterations);
+      checkb
+        (Printf.sprintf "%s: parallel kernel = sequential interpreter"
+           nest.Nest.name)
+        true
+        (Runtime.Exec.to_float_array storage
+        = Runtime.Exec.sequential compiled ~steps))
+    [ (Programs.stencil5 ~n:16 (), 4); (Programs.example3 ~n:12 (), 3) ]
+
+let test_driver_kernels_flag () =
+  let nest = Programs.stencil5 ~n:16 () in
+  let a = Driver.analyze ~nprocs:4 nest in
+  let r =
+    Driver.execute
+      ~config:
+        {
+          Driver.default_exec_config with
+          Driver.kernels = true;
+          repeats = 1;
+          steps = Some 1;
+        }
+      a
+  in
+  checkb "policy names the kernel" true
+    (String.length r.Runtime.Measure.policy > 0
+    && String.sub r.Runtime.Measure.policy
+         (String.length r.Runtime.Measure.policy - 6)
+         6
+       = "kernel");
+  check "all iterations counted"
+    (Array.fold_left ( * ) 1 (Nest.extents nest))
+    (Array.fold_left
+       (fun acc (d : Runtime.Measure.domain_stat) ->
+         acc + d.Runtime.Measure.iterations)
+       0 r.Runtime.Measure.per_domain)
+
+let test_resilient_kernels_match () =
+  let nest = Programs.stencil5 ~n:16 () in
+  let a = Driver.analyze ~nprocs:4 nest in
+  let config =
+    { Driver.default_exec_config with Driver.kernels = true }
+  in
+  let report, buffer = Driver.execute_resilient ~config a in
+  checkb "resilient kernel run completed" true report.Runtime.Report.completed;
+  let compiled = Runtime.Exec.compile nest in
+  checkb "resilient kernel buffer = sequential" true
+    (buffer = Runtime.Exec.sequential compiled ~steps:(steps_of nest))
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "strides",
+        [
+          Alcotest.test_case "deltas match Exec.address on the gallery" `Quick
+            test_strides_match_address;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "permutations preserve results" `Quick
+            test_permutations_preserve_results;
+          Alcotest.test_case "in-place nests refuse reordering" `Quick
+            test_inplace_not_reorderable;
+          Alcotest.test_case "matmul rotates j innermost" `Quick
+            test_matmul_rotates_unit_axis_innermost;
+        ] );
+      ( "shapes",
+        [ Alcotest.test_case "shape selection" `Quick test_shapes ] );
+      ( "boxes",
+        [
+          Alcotest.test_case "empty box is a no-op" `Quick test_empty_box_is_noop;
+          Alcotest.test_case "degenerate and partial boxes" `Quick
+            test_degenerate_and_partial_boxes;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "flat and bigarray agree" `Quick
+            test_flat_and_bigarray_checksums_agree;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "pool kernel = sequential interpreter" `Quick
+            test_parallel_kernel_matches_sequential;
+          Alcotest.test_case "Driver ~kernels:true" `Quick
+            test_driver_kernels_flag;
+          Alcotest.test_case "Resilient ~kernels:true" `Quick
+            test_resilient_kernels_match;
+        ] );
+    ]

@@ -46,6 +46,11 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* JSON has no nan/inf literals (a stall scenario with no attempts
+   yields a nan detect time); emit null instead of corrupting the file. *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
 let write_bench_json path =
   match List.rev !bench_records with
   | [] -> ()
@@ -902,10 +907,10 @@ let e21 () =
     Runtime.Exec.queues_of_assignment (Scheduling.of_schedule sched) ~chunk:1
   in
   let run_plain () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Runtime.Mclock.now () in
     Runtime.Pool.with_pool nprocs (fun pool ->
         ignore (Runtime.Exec.time pool compiled work ~steps ~repeats:1));
-    Unix.gettimeofday () -. t0
+    Runtime.Mclock.now () -. t0
   in
   let resilient ?plan () =
     let plan =
@@ -1002,9 +1007,10 @@ let e21 () =
              Printf.sprintf
                "  {\"experiment\": \"E21\", \"scenario\": \"resilient-stall\", \
                 \"nprocs\": %d, \"steps\": %d, \"deadline_ms\": 100, \
-                \"detect_seconds\": %.6g, \"wall_seconds\": %.6g, \
+                \"detect_seconds\": %s, \"wall_seconds\": %s, \
                 \"completed\": %b}\n"
-               nprocs steps detect (wall stall)
+               nprocs steps (json_float detect)
+               (json_float (wall stall))
                stall.Runtime.Report.completed;
              "]\n";
            ]));
@@ -1127,6 +1133,116 @@ let e22 () =
   pf "@.wrote kernel measurements to BENCH_kernels.json@."
 
 (* ------------------------------------------------------------------ *)
+(* --profile: traced runs of the two E22 workloads, broken down into   *)
+(* per-phase busy time per domain, dumped next to the BENCH_*.json     *)
+(* files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let profile_requested = ref false
+
+let run_profile () =
+  header "PROFILE" "Per-phase runtime breakdown (traced runs)";
+  let open Loopart in
+  let nprocs = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let kinds =
+    Runtime.Trace.
+      [ Tile; Exec; Barrier; Chunk; Steal; Watchdog; Reexec; Step ]
+  in
+  let counters =
+    Runtime.Trace.
+      [
+        Tiles_run;
+        Steals;
+        Backoff_yields;
+        Elements_touched;
+        Faults_injected;
+        Faults_detected;
+      ]
+  in
+  let one ~name ~nest ~steps ~kernels =
+    let trace = Runtime.Trace.create ~domains:nprocs () in
+    let config =
+      {
+        Driver.default_exec_config with
+        Driver.steps = Some steps;
+        repeats = 1;
+        kernels;
+        trace = Some trace;
+      }
+    in
+    let a = Driver.analyze ~nprocs nest in
+    ignore (Driver.execute ~config a);
+    let s = Runtime.Trace.summary trace in
+    pf "@.--- %s on %d domains (%s path) ---@." name nprocs
+      (if kernels then "kernel" else "interpreter");
+    pf "%a@." Runtime.Trace.pp_summary s;
+    (* Per-domain busy seconds by span kind, from the raw events. *)
+    let busy = Array.make_matrix nprocs (List.length kinds) 0.0 in
+    List.iter
+      (fun (e : Runtime.Trace.event) ->
+        List.iteri
+          (fun ki k ->
+            if e.Runtime.Trace.kind = k then
+              busy.(e.Runtime.Trace.domain).(ki) <-
+                busy.(e.Runtime.Trace.domain).(ki) +. e.Runtime.Trace.dur)
+          kinds)
+      (Runtime.Trace.events trace);
+    let domain_json p =
+      String.concat ""
+        [
+          Printf.sprintf "      {\"domain\": %d, \"busy_seconds\": {" p;
+          String.concat ", "
+            (List.filteri
+               (fun ki _ -> busy.(p).(ki) > 0.0)
+               (List.mapi
+                  (fun ki k ->
+                    Printf.sprintf "\"%s\": %s"
+                      (Runtime.Trace.kind_name k)
+                      (json_float busy.(p).(ki)))
+                  kinds));
+          "}, ";
+          String.concat ", "
+            (List.map
+               (fun c ->
+                 Printf.sprintf "\"%s\": %d"
+                   (Runtime.Trace.counter_name c)
+                   (Runtime.Trace.counters trace p c))
+               counters);
+          "}";
+        ]
+    in
+    String.concat ""
+      [
+        Printf.sprintf
+          "  {\"experiment\": \"profile\", \"name\": \"%s\", \"path\": \
+           \"%s\", \"nprocs\": %d, \"steps\": %d,\n   \"summary\": "
+          (json_escape name)
+          (if kernels then "kernel" else "interpreter")
+          nprocs steps;
+        Runtime.Trace.summary_json s;
+        ",\n   \"domains\": [\n";
+        String.concat ",\n" (List.init nprocs domain_json);
+        "\n   ]}";
+      ]
+  in
+  let items =
+    [
+      one ~name:"stencil5" ~nest:(Programs.stencil5 ~n:128 ()) ~steps:2
+        ~kernels:true;
+      one ~name:"matmul" ~nest:(Programs.matmul ~n:64 ()) ~steps:1
+        ~kernels:false;
+    ]
+  in
+  let oc = open_out "BENCH_profile.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "[\n";
+      output_string oc (String.concat ",\n" items);
+      output_string oc "\n]\n");
+  pf "@.wrote per-phase breakdowns to BENCH_profile.json@."
+
+(* ------------------------------------------------------------------ *)
 (* E13: Bechamel timings of the analysis itself                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1225,10 +1341,15 @@ let () =
         | Some t when t >= 1 -> e22_trials := t
         | Some _ | None -> pf "ignoring bad --trials %s@." v);
         parse acc rest
+    | "--profile" :: rest ->
+        profile_requested := true;
+        parse acc rest
     | id :: rest -> parse (id :: acc) rest
   in
+  let rest = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
-    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    match rest with
+    | [] when !profile_requested -> []  (* --profile alone: just profile *)
     | [] -> List.map fst experiments
     | ids -> ids
   in
@@ -1238,5 +1359,6 @@ let () =
       | Some f -> f ()
       | None -> pf "unknown experiment %s@." id)
     selected;
+  if !profile_requested then run_profile ();
   write_bench_json "BENCH_runtime.json";
   pf "@.done.@."

@@ -291,14 +291,34 @@ let run_cmd =
     Arg.(
       value & opt (some string) None & info [ "report-json" ] ~docv:"FILE" ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Record per-domain execution spans (tiles, barrier waits, steals, \
+       watchdog probes) and write them as Chrome trace_event JSON to \
+       $(docv) (load in chrome://tracing or ui.perfetto.dev)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Print the compact trace metrics summary (tiles run, steals, backoff \
+       yields, fault counters, per-span-kind busy time)."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
   let run source nprocs skewed policy repeats steps bigarray kernels validate
-      fault_plan fault_policy deadline_ms report_json =
+      fault_plan fault_policy deadline_ms report_json trace_file metrics =
     wrap (fun () ->
         let nest = load source in
         let a = Loopart.Driver.analyze ~try_skewed:skewed ~nprocs nest in
         let tile = Loopart.Driver.best_tile a in
         Format.printf "partition: %a on %d domains@." Partition.Tile.pp tile
           nprocs;
+        let trace =
+          if trace_file <> None || metrics then
+            Some (Runtime.Trace.create ~domains:nprocs ())
+          else None
+        in
         let config =
           {
             Loopart.Driver.default_exec_config with
@@ -307,11 +327,13 @@ let run_cmd =
             steps;
             bigarray;
             kernels;
+            trace;
           }
         in
         let resilient =
           fault_plan <> None || fault_policy <> None || report_json <> None
         in
+        let failure = ref None in
         if resilient then begin
           let resilience =
             {
@@ -338,12 +360,30 @@ let run_cmd =
               Format.printf "report written to %s@." file
           | None -> ());
           if not report.Runtime.Report.completed then
-            failwith "resilient run did not complete (see report above)"
+            failure := Some "resilient run did not complete (see report above)"
         end
         else begin
           let report = Loopart.Driver.execute ~config ~tile a in
-          Format.printf "%a@." Runtime.Measure.pp_report report
+          Format.printf "%a@." Runtime.Measure.pp_report report;
+          (* The resilient report embeds its own metrics summary; plain
+             runs print it here on request. *)
+          match trace with
+          | Some tr when metrics ->
+              Format.printf "%a@." Runtime.Trace.pp_summary
+                (Runtime.Trace.summary tr)
+          | Some _ | None -> ()
         end;
+        (* Dump the trace even when the run failed: a trace of the
+           failing run is exactly what one wants to look at. *)
+        (match (trace, trace_file) with
+        | Some tr, Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc (Runtime.Trace.to_chrome_json tr));
+            Format.printf "trace written to %s@." file
+        | _ -> ());
+        (match !failure with Some msg -> failwith msg | None -> ());
         if validate then
           Format.printf "%a@." Runtime.Validate.pp
             (Loopart.Driver.validate ~tile a))
@@ -359,7 +399,8 @@ let run_cmd =
       term_result
         (const run $ source_arg $ nprocs_arg $ skewed_arg $ policy_arg
        $ repeats_arg $ steps_arg $ bigarray_arg $ kernels_arg $ validate_arg
-       $ fault_plan_arg $ fault_policy_arg $ deadline_arg $ report_json_arg))
+       $ fault_plan_arg $ fault_policy_arg $ deadline_arg $ report_json_arg
+       $ trace_arg $ metrics_arg))
 
 let evaluate_cmd =
   let run source nprocs =

@@ -46,6 +46,7 @@ type exec_config = {
   footprint : Runtime.Measure.mode;
   bigarray : bool;
   kernels : bool;
+  trace : Runtime.Trace.t option;
 }
 
 let default_exec_config =
@@ -56,7 +57,10 @@ let default_exec_config =
     footprint = Runtime.Measure.Auto;
     bigarray = false;
     kernels = false;
+    trace = None;
   }
+
+let trace_of config = Option.value ~default:Runtime.Trace.disabled config.trace
 
 let policy_name = function
   | Tiled -> "compile-time tiles"
@@ -84,16 +88,21 @@ let execute_kernels ~config ~sched a =
   let boxes = Runtime.Kernel.boxes_of_schedule sched in
   let work = Runtime.Exec.static_of_assignment (Scheduling.of_schedule sched) in
   let steps = Runtime.Exec.steps_of_nest ?override:config.steps nest in
+  let trace = trace_of config in
   let raw =
     Runtime.Pool.with_pool a.nprocs (fun pool ->
         let wall, seconds, iterations =
-          Runtime.Kernel.time pool plan ~boxes ~steps
+          Runtime.Kernel.time ~trace pool plan ~boxes ~steps
             ~repeats:config.repeats
         in
         let inst =
           Runtime.Exec.measure pool compiled work ~steps
             ~mode:config.footprint
         in
+        Array.iteri
+          (fun p f ->
+            Runtime.Trace.add trace p Runtime.Trace.Elements_touched f)
+          inst.Runtime.Exec.footprints;
         {
           Runtime.Measure.wall_seconds = wall;
           seconds;
@@ -128,8 +137,23 @@ let execute ?(config = default_exec_config) ?tile a =
         let tiles_per_proc =
           Intmath.Int_math.ceil_div (Codegen.num_tiles sched) a.nprocs
         in
-        ( Runtime.Exec.static_of_assignment (Scheduling.of_schedule sched),
-          Some (per_tile * tiles_per_proc) )
+        let work =
+          match config.trace with
+          | Some tr when Runtime.Trace.enabled tr ->
+              (* A traced run keeps the tile-granular work list so each
+                 tile gets its own span; the untraced path stays on the
+                 flattened static assignment (identical iteration order,
+                 no per-tile dispatch). *)
+              let p = Runtime.Resilient.tiles_of_schedule sched in
+              Runtime.Exec.Tiled
+                {
+                  tiles = p.Runtime.Resilient.tiles;
+                  owners = p.Runtime.Resilient.owners;
+                }
+          | Some _ | None ->
+              Runtime.Exec.static_of_assignment (Scheduling.of_schedule sched)
+        in
+        (work, Some (per_tile * tiles_per_proc))
     | Work_steal chunk ->
         ( Runtime.Exec.queues_of_assignment
             (Scheduling.of_schedule sched)
@@ -158,8 +182,8 @@ let execute ?(config = default_exec_config) ?tile a =
   let steps = Runtime.Exec.steps_of_nest ?override:config.steps nest in
   let raw =
     Runtime.Pool.with_pool a.nprocs (fun pool ->
-        Runtime.Exec.run pool compiled work ~steps ~repeats:config.repeats
-          ~mode:config.footprint)
+        Runtime.Exec.run ~trace:(trace_of config) pool compiled work ~steps
+          ~repeats:config.repeats ~mode:config.footprint)
   in
   Runtime.Measure.report ~name:nest.Nest.name
     ~policy:(policy_name config.policy)
@@ -183,8 +207,8 @@ let execute_resilient ?(config = default_exec_config)
     in
     Runtime.Resilient.tiles_of_schedule (Codegen.make nest tile ~nprocs)
   in
-  Runtime.Resilient.execute ~config:resilience ?plan ~kernels:config.kernels
-    ~compiled ~steps ~partition ~nprocs:a.nprocs ()
+  Runtime.Resilient.execute ~config:resilience ?plan ?trace:config.trace
+    ~kernels:config.kernels ~compiled ~steps ~partition ~nprocs:a.nprocs ()
 
 let validate ?tile a = Runtime.Validate.check_schedule (schedule ?tile a)
 

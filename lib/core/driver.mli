@@ -65,11 +65,16 @@ type exec_config = {
           [Tiled] policy over rectangular tiles (other policies and
           parallelepiped tiles keep the interpreter), and for
           {!execute_resilient}'s box tiles *)
+  trace : Runtime.Trace.t option;
+      (** record per-domain spans and counters into this recorder during
+          the timed passes (size it for [analysis.nprocs]); under the
+          [Tiled] policy the traced run executes the tile-granular work
+          list so every tile gets its own span *)
 }
 
 val default_exec_config : exec_config
 (** [Tiled], 3 repeats, the nest's own step count, [Auto] footprints,
-    [float array] operands, interpreter (no kernels). *)
+    [float array] operands, interpreter (no kernels), no trace. *)
 
 val execute :
   ?config:exec_config -> ?tile:Tile.t -> analysis -> Runtime.Measure.report

@@ -459,6 +459,27 @@ let check_resilient (c : Gen.case) =
           "2000 ms stall under a 100 ms deadline completed without a \
            Timed_out event"
       else if
+        (* One-shot injection: every plan entry fires at most once
+           across the whole job - concurrent claimers, retried attempts
+           and degrade re-partitions included.  A wildcard site re-dealt
+           to the smaller pool after degrading is the regression this
+           guards against. *)
+        (let hits = Hashtbl.create 4 in
+         List.iter
+           (function
+             | Report.Injected { site; _ } ->
+                 Hashtbl.replace hits site
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt hits site))
+             | _ -> ())
+           (Report.events report);
+         Hashtbl.fold (fun _ n acc -> acc || n > 1) hits false)
+      then
+        fail "resilient-recovery"
+          "a plan entry fired more than once (one-shot injection violated; \
+           %d injections recorded for plan %s)"
+          (Report.injected_count report)
+          plan_str
+      else if
         Exec.reexecution_safe compiled && writes_conflict_free c
         && buffer <> Exec.sequential compiled ~steps
       then

@@ -233,6 +233,7 @@ let observe_point c touched =
 
 type work =
   | Static of Ivec.t array array
+  | Tiled of { tiles : Ivec.t array array; owners : int array }
   | Dynamic of { points : Ivec.t array; chunk : remaining:int -> int }
   | Steal of { queues : Ivec.t array array; chunk : int }
 
@@ -254,30 +255,50 @@ let steps_of_nest ?override nest =
 
 (* One execution of the whole nest ([steps] outer iterations) on the
    pool.  [visit p point] performs the body; shared scheduling state is
-   reset by domain 0 between the two barriers that bracket each step. *)
-let one_pass pool work ~steps ~visit ~seconds ~iterations =
+   reset by domain 0 between the two barriers that bracket each step.
+   With a live [trace], barrier waits and per-tile (or per-chunk)
+   claims become spans; the [Tiled] work shape exists so a traced
+   compile-time partition keeps its tile boundaries - [Static] work is
+   the same points with the tile structure flattened away. *)
+let one_pass ?(trace = Trace.disabled) pool work ~steps ~visit ~seconds
+    ~iterations =
   let counter =
     match work with
     | Dynamic { points; _ } -> Some (Pool.Counter.create ~total:(Array.length points))
-    | Static _ | Steal _ -> None
+    | Static _ | Tiled _ | Steal _ -> None
   in
   let deques =
     match work with
     | Steal { queues; _ } ->
         Some (Pool.Deques.create ~lengths:(Array.map Array.length queues))
-    | Static _ | Dynamic _ -> None
+    | Static _ | Tiled _ | Dynamic _ -> None
+  in
+  let my_tiles =
+    match work with
+    | Tiled { tiles; owners } ->
+        let n = Pool.size pool in
+        let by = Array.make n [] in
+        for t = Array.length tiles - 1 downto 0 do
+          by.(owners.(t)) <- t :: by.(owners.(t))
+        done;
+        Array.map Array.of_list by
+    | Static _ | Dynamic _ | Steal _ -> [||]
   in
   Pool.run pool (fun p barrier ->
       let sense = ref false in
       let mine = ref 0 in
-      let t0 = Unix.gettimeofday () in
-      for _step = 1 to steps do
+      let yielded = ref 0 in
+      let t0 = Mclock.now () in
+      for step = 1 to steps do
         (if p = 0 then
            match counter, deques with
            | Some c, _ -> Pool.Counter.reset c
            | _, Some d -> Pool.Deques.reset d
            | None, None -> ());
-        Pool.Barrier.wait barrier ~sense;
+        Trace.begin_span trace p Trace.Barrier ~arg:step;
+        Pool.Barrier.wait barrier ~sense ~yielded;
+        Trace.end_span trace p;
+        Trace.begin_span trace p Trace.Step ~arg:step;
         (match work with
         | Static per_domain ->
             let pts = per_domain.(p) in
@@ -285,6 +306,19 @@ let one_pass pool work ~steps ~visit ~seconds ~iterations =
               visit p (Array.unsafe_get pts i)
             done;
             mine := !mine + Array.length pts
+        | Tiled { tiles; _ } ->
+            let ids = my_tiles.(p) in
+            for j = 0 to Array.length ids - 1 do
+              let t = Array.unsafe_get ids j in
+              Trace.begin_span trace p Trace.Tile ~arg:t;
+              let pts = tiles.(t) in
+              for i = 0 to Array.length pts - 1 do
+                visit p (Array.unsafe_get pts i)
+              done;
+              Trace.end_span trace p;
+              Trace.incr trace p Trace.Tiles_run;
+              mine := !mine + Array.length pts
+            done
         | Dynamic { points; chunk } ->
             let c = Option.get counter in
             let continue = ref true in
@@ -292,9 +326,11 @@ let one_pass pool work ~steps ~visit ~seconds ~iterations =
               match Pool.Counter.next c ~chunk with
               | None -> continue := false
               | Some (lo, hi) ->
+                  Trace.begin_span trace p Trace.Chunk ~arg:lo;
                   for i = lo to hi - 1 do
                     visit p (Array.unsafe_get points i)
                   done;
+                  Trace.end_span trace p;
                   mine := !mine + (hi - lo)
             done
         | Steal { queues; chunk } ->
@@ -304,15 +340,25 @@ let one_pass pool work ~steps ~visit ~seconds ~iterations =
               match Pool.Deques.pop d ~me:p ~chunk with
               | None -> continue := false
               | Some (owner, lo, hi) ->
+                  if owner <> p then begin
+                    Trace.incr trace p Trace.Steals;
+                    Trace.instant trace p Trace.Steal ~arg:lo
+                  end;
+                  Trace.begin_span trace p Trace.Chunk ~arg:lo;
                   let pts = queues.(owner) in
                   for i = lo to hi - 1 do
                     visit p (Array.unsafe_get pts i)
                   done;
+                  Trace.end_span trace p;
                   mine := !mine + (hi - lo)
             done);
-        Pool.Barrier.wait barrier ~sense
+        Trace.end_span trace p;
+        Trace.begin_span trace p Trace.Barrier ~arg:step;
+        Pool.Barrier.wait barrier ~sense ~yielded;
+        Trace.end_span trace p
       done;
-      seconds.(p) <- Unix.gettimeofday () -. t0;
+      Trace.add trace p Trace.Backoff_yields !yielded;
+      seconds.(p) <- Mclock.now () -. t0;
       iterations.(p) <- !mine)
 
 let check_work pool work =
@@ -322,6 +368,15 @@ let check_work pool work =
       invalid_arg
         (Printf.sprintf "Exec: %d-domain pool given %d-way static work" n
            (Array.length a))
+  | Tiled { tiles; owners } ->
+      if Array.length owners <> Array.length tiles then
+        invalid_arg "Exec: tiled work with owners/tiles length mismatch";
+      Array.iter
+        (fun o ->
+          if o < 0 || o >= n then
+            invalid_arg
+              (Printf.sprintf "Exec: tile owner %d outside %d-domain pool" o n))
+        owners
   | Steal { queues; _ } when Array.length queues <> n ->
       invalid_arg
         (Printf.sprintf "Exec: %d-domain pool given %d-way queues" n
@@ -363,7 +418,7 @@ let measure pool c work ~steps ~mode =
     buffer = to_float_array storage;
   }
 
-let time pool c work ~steps ~repeats =
+let time ?trace pool c work ~steps ~repeats =
   check_work pool work;
   if repeats < 1 then invalid_arg "Exec.time: repeats < 1";
   let nprocs = Pool.size pool in
@@ -376,9 +431,9 @@ let time pool c work ~steps ~repeats =
     let seconds = Array.make nprocs 0.0 in
     let iterations = Array.make nprocs 0 in
     let visit _p point = run_body point in
-    let t0 = Unix.gettimeofday () in
-    one_pass pool work ~steps ~visit ~seconds ~iterations;
-    let wall = Unix.gettimeofday () -. t0 in
+    let t0 = Mclock.now () in
+    one_pass ?trace pool work ~steps ~visit ~seconds ~iterations;
+    let wall = Mclock.now () -. t0 in
     ignore (Sys.opaque_identity (checksum storage));
     if wall < !best_wall then begin
       best_wall := wall;
@@ -388,9 +443,15 @@ let time pool c work ~steps ~repeats =
   done;
   (!best_wall, best_seconds, best_iterations)
 
-let run pool c work ~steps ~repeats ~mode =
-  let wall, seconds, iterations = time pool c work ~steps ~repeats in
+let run ?(trace = Trace.disabled) pool c work ~steps ~repeats ~mode =
+  let wall, seconds, iterations = time ~trace pool c work ~steps ~repeats in
   let inst = measure pool c work ~steps ~mode in
+  (* The instrumented pass runs untraced (its observation cost is not
+     representative), but its footprints feed the bytes-touched
+     counter: distinct elements each domain actually referenced. *)
+  Array.iteri
+    (fun p f -> Trace.add trace p Trace.Elements_touched f)
+    inst.footprints;
   {
     Measure.wall_seconds = wall;
     seconds;

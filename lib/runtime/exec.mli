@@ -95,6 +95,12 @@ type work =
   | Static of Ivec.t array array
       (** per-domain iteration arrays, fixed at compile time (the
           schedules of {!Partition.Codegen} / {!Partition.Scheduling}) *)
+  | Tiled of { tiles : Ivec.t array array; owners : int array }
+      (** the same compile-time partition with tile boundaries kept:
+          tile id -> points, tile id -> owning domain (the shape of
+          {!Resilient.partitioned}).  Executes exactly like [Static]
+          work over the concatenation of each owner's tiles, but a
+          traced run records one claim-to-completion span per tile *)
   | Dynamic of { points : Ivec.t array; chunk : remaining:int -> int }
       (** self-scheduling over the lexicographic iteration stream via a
           shared {!Pool.Counter}: chunk [fun ~remaining:_ -> 1] is
@@ -125,6 +131,7 @@ val measure :
 (** One instrumented (untimed) execution on fresh operands. *)
 
 val time :
+  ?trace:Trace.t ->
   Pool.t ->
   compiled ->
   work ->
@@ -132,9 +139,12 @@ val time :
   repeats:int ->
   float * float array * int array
 (** [(wall, per_domain_seconds, per_domain_iterations)] of the fastest
-    of [repeats] uninstrumented executions (minimum-of-N wall-clock). *)
+    of [repeats] uninstrumented executions (minimum-of-N wall-clock,
+    all timestamps on {!Mclock}).  A live [trace] records barrier
+    waits, steps, and tile/chunk claims of {e every} repeat. *)
 
 val run :
+  ?trace:Trace.t ->
   Pool.t ->
   compiled ->
   work ->
@@ -142,7 +152,9 @@ val run :
   repeats:int ->
   mode:Measure.mode ->
   Measure.raw
-(** {!time} + {!measure} combined into a {!Measure.raw}. *)
+(** {!time} + {!measure} combined into a {!Measure.raw}.  The timed
+    pass is traced; the instrumented pass only feeds the trace's
+    elements-touched counter from its per-domain footprints. *)
 
 val sequential : compiled -> steps:int -> float array
 (** Reference execution: every iteration in lexicographic order on the

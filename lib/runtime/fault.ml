@@ -31,6 +31,14 @@ let none = make []
 let is_empty p = Array.length p.injections = 0
 let injections p = Array.to_list p.injections
 
+(* The CAS on [armed.(k)] is what makes every plan entry one-shot
+   globally - across concurrent claimers, across retried attempts, and
+   across degrade re-partitions.  The latter matters for wildcard
+   sites: when the domain count halves, claim ordinals are re-dealt and
+   a site like [crash@s1c0] is reached again by the smaller pool, but
+   its entry is already consumed, so it cannot double-fire.  The
+   returned entry index is the identity {!Report.Injected} carries and
+   the fuzz oracle's <= 1-hit-per-entry assertion checks. *)
 let fire p ~domain ~step ~claim =
   let found = ref None in
   Array.iteri
@@ -40,7 +48,7 @@ let fire p ~domain ~step ~claim =
         && (match i.domain with None -> true | Some d -> d = domain)
         && i.step = step && i.claim = claim
         && Atomic.compare_and_set p.armed.(k) true false
-      then found := Some i.action)
+      then found := Some (k, i.action))
     p.injections;
   !found
 

@@ -55,10 +55,15 @@ val is_empty : plan -> bool
 
 val injections : plan -> injection list
 
-val fire : plan -> domain:int -> step:int -> claim:int -> action option
+val fire : plan -> domain:int -> step:int -> claim:int -> (int * action) option
 (** Consume and return the first still-armed injection matching the
-    site, if any.  Thread-safe: each injection fires on exactly one
-    caller even under concurrent claims. *)
+    site, if any, as [(entry, action)] where [entry] indexes the plan's
+    injection list - the stable identity a fired fault is reported
+    under.  Thread-safe and one-shot {e per entry, globally}: the
+    armed-flag CAS admits exactly one caller per entry, across
+    concurrent claims, retried attempts, and degrade re-partitions (so
+    a wildcard site re-reached after the domain count halves cannot
+    double-count). *)
 
 val reset : plan -> unit
 (** Re-arm every injection (for reusing one plan across runs). *)

@@ -705,23 +705,35 @@ let check_boxes pool p boxes =
            invalid_arg "Kernel: box arity mismatch"))
     boxes
 
-let one_pass pool p storage ~boxes ~steps ~seconds ~iterations =
+let one_pass ?(trace = Trace.disabled) pool p storage ~boxes ~steps ~seconds
+    ~iterations =
   Pool.run pool (fun me barrier ->
       let sense = ref false in
       let mine = boxes.(me) in
       let per_step = Array.fold_left (fun acc b -> acc + box_volume b) 0 mine in
-      let t0 = Unix.gettimeofday () in
-      for _step = 1 to steps do
-        Pool.Barrier.wait barrier ~sense;
+      let yielded = ref 0 in
+      let t0 = Mclock.now () in
+      for step = 1 to steps do
+        Trace.begin_span trace me Trace.Barrier ~arg:step;
+        Pool.Barrier.wait barrier ~sense ~yielded;
+        Trace.end_span trace me;
+        Trace.begin_span trace me Trace.Step ~arg:step;
         for i = 0 to Array.length mine - 1 do
-          run_box p storage (Array.unsafe_get mine i)
+          Trace.begin_span trace me Trace.Tile ~arg:i;
+          run_box p storage (Array.unsafe_get mine i);
+          Trace.end_span trace me;
+          Trace.incr trace me Trace.Tiles_run
         done;
-        Pool.Barrier.wait barrier ~sense
+        Trace.end_span trace me;
+        Trace.begin_span trace me Trace.Barrier ~arg:step;
+        Pool.Barrier.wait barrier ~sense ~yielded;
+        Trace.end_span trace me
       done;
-      seconds.(me) <- Unix.gettimeofday () -. t0;
+      Trace.add trace me Trace.Backoff_yields !yielded;
+      seconds.(me) <- Mclock.now () -. t0;
       iterations.(me) <- per_step * steps)
 
-let time pool p ~boxes ~steps ~repeats =
+let time ?trace pool p ~boxes ~steps ~repeats =
   check_boxes pool p boxes;
   if repeats < 1 then invalid_arg "Kernel.time: repeats < 1";
   let nprocs = Pool.size pool in
@@ -732,9 +744,9 @@ let time pool p ~boxes ~steps ~repeats =
     let storage = Exec.alloc p.compiled in
     let seconds = Array.make nprocs 0.0 in
     let iterations = Array.make nprocs 0 in
-    let t0 = Unix.gettimeofday () in
-    one_pass pool p storage ~boxes ~steps ~seconds ~iterations;
-    let wall = Unix.gettimeofday () -. t0 in
+    let t0 = Mclock.now () in
+    one_pass ?trace pool p storage ~boxes ~steps ~seconds ~iterations;
+    let wall = Mclock.now () -. t0 in
     ignore (Sys.opaque_identity (Exec.checksum storage));
     if wall < !best_wall then begin
       best_wall := wall;

@@ -73,6 +73,7 @@ val boxes_of_schedule : Partition.Codegen.schedule -> box array array
     [p]'s work for one step. *)
 
 val one_pass :
+  ?trace:Trace.t ->
   Pool.t ->
   plan ->
   Exec.storage ->
@@ -82,11 +83,14 @@ val one_pass :
   iterations:int array ->
   unit
 (** Run [steps] barrier-separated sweeps, domain [p] executing
-    [boxes.(p)]; fills per-domain wall seconds and iteration counts.
-    Mirrors {!Exec}'s static one-pass structure (two barrier waits per
-    step) so timings are comparable. *)
+    [boxes.(p)]; fills per-domain wall seconds and iteration counts
+    (timestamps on {!Mclock}).  Mirrors {!Exec}'s static one-pass
+    structure (two barrier waits per step) so timings are comparable.
+    A live [trace] records one span per box execution plus barrier and
+    step spans. *)
 
 val time :
+  ?trace:Trace.t ->
   Pool.t ->
   plan ->
   boxes:box array array ->

@@ -5,12 +5,15 @@ exception Aborted
    quanta, so after a bounded number of relaxes we yield, then sleep
    increasingly long - capped so a waiter still polls often enough for
    abort flags and watchdog checks to stay responsive. *)
-let backoff spins =
+let backoff ?yielded spins =
   if spins < 64 then Domain.cpu_relax ()
-  else if spins < 512 then Unix.sleepf 0.0 (* sched_yield: give up the quantum *)
-  else
-    let k = min ((spins - 512) / 64) 5 in
-    Unix.sleepf (0.000_05 *. float_of_int (1 lsl k))
+  else begin
+    (match yielded with Some r -> incr r | None -> ());
+    if spins < 512 then Unix.sleepf 0.0 (* sched_yield: give up the quantum *)
+    else
+      let k = min ((spins - 512) / 64) 5 in
+      Unix.sleepf (0.000_05 *. float_of_int (1 lsl k))
+  end
 
 module Barrier = struct
   type b = {
@@ -28,7 +31,7 @@ module Barrier = struct
       abort = Atomic.make false;
     }
 
-  let wait b ~sense =
+  let wait ?yielded b ~sense =
     let my = not !sense in
     sense := my;
     if Atomic.get b.abort then raise Aborted;
@@ -40,7 +43,7 @@ module Barrier = struct
     else begin
       let spins = ref 0 in
       while Atomic.get b.phase <> my && not (Atomic.get b.abort) do
-        backoff !spins;
+        backoff ?yielded !spins;
         incr spins
       done;
       if Atomic.get b.phase <> my then raise Aborted

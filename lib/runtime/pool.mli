@@ -17,13 +17,16 @@
 
 type t
 
-val backoff : int -> unit
+val backoff : ?yielded:int ref -> int -> unit
 (** Wait-loop backoff step, parameterized by the number of failed polls
     so far: a few [Domain.cpu_relax]es, then yields, then sleeps that
     double up to a 1.6 ms cap.  The cap keeps oversubscribed waiters
     responsive: a parked domain still wakes often enough to service
     abort flags and run watchdog checks ({!Resilient}).  Reset the
-    counter whenever the poll makes progress. *)
+    counter whenever the poll makes progress.  [yielded] is incremented
+    each time the step actually gives up the CPU (yield or sleep, not a
+    [cpu_relax]) - the hook {!Trace}'s backoff-yield counter is fed
+    from, optional so untraced waiters pay nothing. *)
 
 val create : int -> t
 (** Spawn a pool of [n >= 1] domains.  Domains may exceed the physical
@@ -40,11 +43,12 @@ exception Aborted
 module Barrier : sig
   type b
 
-  val wait : b -> sense:bool ref -> unit
+  val wait : ?yielded:int ref -> b -> sense:bool ref -> unit
   (** Sense-reversing barrier: each participant keeps a local [sense]
       ref (initially [false]) and flips it per episode.  The last
       arriving domain releases the others.  Raises {!Aborted} if the
-      pool's current job was aborted by a sibling's exception. *)
+      pool's current job was aborted by a sibling's exception.
+      [yielded] counts CPU give-ups while parked (see {!backoff}). *)
 end
 
 val run : t -> (int -> Barrier.b -> unit) -> unit

@@ -1,5 +1,5 @@
 type event =
-  | Injected of { action : Fault.action; domain : int; step : int }
+  | Injected of { action : Fault.action; site : int; domain : int; step : int }
   | Crashed of { domain : int; step : int; exn : string }
   | Timed_out of { domain : int; step : int }
   | Tiles_reexecuted of { count : int; step : int }
@@ -33,6 +33,7 @@ type t = {
   total_wall_seconds : float;
   checksum : float;
   covered_exactly_once : bool;
+  metrics : Trace.summary option;
 }
 
 let events t = List.concat_map (fun a -> a.events) t.attempts
@@ -47,10 +48,10 @@ let reexecuted_tiles t =
   List.fold_left (fun acc a -> acc + a.tiles_reexecuted) 0 t.attempts
 
 let pp_event ppf = function
-  | Injected { action; domain; step } ->
-      Format.fprintf ppf "injected %s on domain %d at step %d"
+  | Injected { action; site; domain; step } ->
+      Format.fprintf ppf "injected %s (plan entry %d) on domain %d at step %d"
         (Fault.action_to_string action)
-        domain step
+        site domain step
   | Crashed { domain; step; exn } ->
       Format.fprintf ppf "domain %d crashed at step %d (%s)" domain step exn
   | Timed_out { domain; step } ->
@@ -100,6 +101,9 @@ let pp ppf t =
      else "FAILED")
     (t.total_wall_seconds *. 1e3);
   if t.completed then Format.fprintf ppf "; checksum %.6g" t.checksum;
+  (match t.metrics with
+  | Some m -> Format.fprintf ppf "@,%a" Trace.pp_summary m
+  | None -> ());
   Format.fprintf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
@@ -114,6 +118,8 @@ let escape s =
       | '"' -> Buffer.add_string b "\\\""
       | '\\' -> Buffer.add_string b "\\\\"
       | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
       | c when Char.code c < 0x20 ->
           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)
@@ -122,6 +128,13 @@ let escape s =
 
 let str s = "\"" ^ escape s ^ "\""
 
+(* JSON has no nan/inf literals; a failed attempt's wall time can be
+   nan (a watchdog race losing both timestamps) and must not poison the
+   whole document.  %.6g itself is JSON-safe for every finite double
+   (no bare [.5] or trailing-dot forms). *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
 let event_json e =
   let obj kind fields =
     Printf.sprintf "{\"event\": %s%s}" (str kind)
@@ -129,10 +142,11 @@ let event_json e =
          (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %s" k v) fields))
   in
   match e with
-  | Injected { action; domain; step } ->
+  | Injected { action; site; domain; step } ->
       obj "injected"
         [
           ("action", str (Fault.action_to_string action));
+          ("site", string_of_int site);
           ("domain", string_of_int domain);
           ("step", string_of_int step);
         ]
@@ -178,7 +192,7 @@ let attempt_json a =
       "], \"backoff_ms\": ";
       string_of_int a.backoff_ms;
       ", \"wall_seconds\": ";
-      Printf.sprintf "%.6g" a.wall_seconds;
+      json_float a.wall_seconds;
       ", \"events\": [";
       String.concat ", " (List.map event_json a.events);
       "]}";
@@ -206,9 +220,13 @@ let to_json t =
       ",\n  \"covered_exactly_once\": ";
       string_of_bool t.covered_exactly_once;
       ",\n  \"total_wall_seconds\": ";
-      Printf.sprintf "%.6g" t.total_wall_seconds;
+      json_float t.total_wall_seconds;
       ",\n  \"checksum\": ";
-      Printf.sprintf "%.6g" t.checksum;
+      json_float t.checksum;
+      ",\n  \"metrics\": ";
+      (match t.metrics with
+      | Some m -> Trace.summary_json m
+      | None -> "null");
       ",\n  \"attempts\": [\n    ";
       String.concat ",\n    " (List.map attempt_json t.attempts);
       "\n  ]\n}\n";

@@ -8,8 +8,10 @@
     dump it as JSON for CI artifacts. *)
 
 type event =
-  | Injected of { action : Fault.action; domain : int; step : int }
-      (** a fault-plan injection fired at this site *)
+  | Injected of { action : Fault.action; site : int; domain : int; step : int }
+      (** a fault-plan injection fired: [site] is the index of the
+          consumed plan entry ({!Fault.injections} order), the identity
+          under which the oracle checks that no entry fires twice *)
   | Crashed of { domain : int; step : int; exn : string }
       (** a worker raised; its claimed tile was orphaned *)
   | Timed_out of { domain : int; step : int }
@@ -52,6 +54,9 @@ type t = {
   covered_exactly_once : bool;
       (** the completing attempt's completion bitmap showed every tile
           executed effectively once in every step *)
+  metrics : Trace.summary option;
+      (** compact trace metrics when the run was traced (tiles run,
+          steals, faults seen, per-span-kind busy time) *)
 }
 
 val events : t -> event list
@@ -66,4 +71,6 @@ val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
-(** Machine-readable rendition for CI artifacts. *)
+(** Machine-readable rendition for CI artifacts.  Always strictly
+    valid JSON: non-finite wall times and checksums serialize as
+    [null], and every control character in strings is escaped. *)

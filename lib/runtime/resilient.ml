@@ -150,12 +150,19 @@ type ctx = {
   deques : Pool.Deques.d;
   hb : int Atomic.t array;  (** per-domain heartbeat: tiles completed *)
   done_count : int Atomic.t array;  (** per-tile completions this step *)
+  clock : Mclock.t;  (** guarded monotonic clock the watchdog reads *)
+  trace : Trace.t;
   g : gate;
 }
 
 type dstate = { me : int; mutable claims : int }
 
-let now () = Unix.gettimeofday ()
+(* Every timestamp here - deadlines, heartbeat ages, attempt and job
+   wall clocks - is monotonic.  The watchdog additionally goes through
+   a guarded {!Mclock.t} and one-shot {!Mclock.Deadline}s, so even a
+   misbehaving time source could not make a stall deadline fire twice
+   or re-arm after firing. *)
+let now () = Mclock.now ()
 
 let locked g f =
   Mutex.lock g.m;
@@ -223,27 +230,40 @@ let corrupt_target ctx t =
   in
   go 0
 
-let run_tile ctx ds ~step t =
+let run_tile ?(kind = Trace.Tile) ctx ds ~step t =
   let g = ctx.g in
   let claim = ds.claims in
   ds.claims <- ds.claims + 1;
-  (match Fault.fire ctx.plan ~domain:ds.me ~step ~claim with
-  | None -> ()
-  | Some action ->
-      locked g (fun () ->
-          record g (Report.Injected { action; domain = ds.me; step }));
-      (match action with
-      | Fault.Crash -> raise Injected_crash
-      | Fault.Corrupt ->
-          (match corrupt_target ctx t with
-          | Some a -> Exec.poke ctx.storage a Float.nan
-          | None -> ());
-          raise Injected_corruption
-      | Fault.Stall ms -> interruptible_stall ctx ms));
-  if Atomic.get g.aborted then raise Halt;
-  ctx.exec_tile t;
-  Atomic.incr ctx.done_count.(t);
-  Atomic.incr ctx.hb.(ds.me)
+  let d0 = Trace.depth ctx.trace ds.me in
+  Trace.begin_span ctx.trace ds.me kind ~arg:t;
+  try
+    (match Fault.fire ctx.plan ~domain:ds.me ~step ~claim with
+    | None -> ()
+    | Some (site, action) ->
+        Trace.incr ctx.trace ds.me Trace.Faults_injected;
+        locked g (fun () ->
+            record g (Report.Injected { action; site; domain = ds.me; step }));
+        (match action with
+        | Fault.Crash -> raise Injected_crash
+        | Fault.Corrupt ->
+            (match corrupt_target ctx t with
+            | Some a -> Exec.poke ctx.storage a Float.nan
+            | None -> ());
+            raise Injected_corruption
+        | Fault.Stall ms -> interruptible_stall ctx ms));
+    if Atomic.get g.aborted then raise Halt;
+    Trace.begin_span ctx.trace ds.me Trace.Exec ~arg:t;
+    ctx.exec_tile t;
+    Trace.end_span ctx.trace ds.me;
+    Atomic.incr ctx.done_count.(t);
+    Atomic.incr ctx.hb.(ds.me);
+    Trace.incr ctx.trace ds.me Trace.Tiles_run;
+    Trace.end_span ctx.trace ds.me
+  with e ->
+    (* An injected crash, a stall's abort, or a real worker exception
+       leaves spans open; close them so the trace stays well-nested. *)
+    Trace.unwind ctx.trace ds.me ~depth:d0;
+    raise e
 
 (* A worker exception while holding tile [t].  With tile-level recovery
    the domain retires and orphans the tile - it has provably stopped
@@ -252,6 +272,7 @@ let run_tile ctx ds ~step t =
    attempt aborts. *)
 let crashed ctx ds ~step ~tile ~was_busy exn_str =
   let g = ctx.g in
+  Trace.incr ctx.trace ds.me Trace.Faults_detected;
   if ctx.recover then begin
     locked g (fun () ->
         if was_busy then g.busy <- g.busy - 1;
@@ -283,6 +304,10 @@ let drain ctx ds ~step =
     | None -> continue_ := false
     | Some (owner, lo, _hi) ->
         let t = ctx.queue_tiles.(owner).(lo) in
+        if owner <> ds.me then begin
+          Trace.incr ctx.trace ds.me Trace.Steals;
+          Trace.instant ctx.trace ds.me Trace.Steal ~arg:t
+        end;
         (try run_tile ctx ds ~step t with
         | Halt -> raise Halt
         | exn ->
@@ -302,7 +327,7 @@ let help_orphan ctx ds ~step =
       g.busy <- g.busy + 1;
       Mutex.unlock g.m;
       (try
-         run_tile ctx ds ~step t;
+         run_tile ~kind:Trace.Reexec ctx ds ~step t;
          locked g (fun () ->
              g.busy <- g.busy - 1;
              g.reexec_step <- g.reexec_step + 1;
@@ -318,8 +343,15 @@ let help_orphan ctx ds ~step =
       Mutex.unlock g.m;
       false
 
-let watchdog ctx ~step ~t0 ~snap ~deadline =
-  if now () -. !t0 > deadline then begin
+(* The stall deadline is a one-shot {!Mclock.Deadline}: [fire] consumes
+   it with a CAS, so even if several waiters probe concurrently - or the
+   underlying time source misbehaves across its expiry - exactly one
+   probe observes the expiry.  A probe that finds every domain making
+   progress re-arms it; a probe that finds a silent straggler leaves it
+   consumed (the attempt aborts anyway). *)
+let watchdog ctx ds ~step ~dl ~snap ~after =
+  if Mclock.Deadline.fire dl then begin
+    Trace.instant ctx.trace ds.me Trace.Watchdog ~arg:step;
     let g = ctx.g in
     let silent = ref (-1) in
     for q = 0 to Array.length ctx.hb - 1 do
@@ -335,6 +367,7 @@ let watchdog ctx ~step ~t0 ~snap ~deadline =
             && g.entered.(q) < step
           then begin
             record g (Report.Timed_out { domain = q; step });
+            Trace.incr ctx.trace ds.me Trace.Faults_detected;
             abort_locked g
               ~reason:
                 (Printf.sprintf
@@ -344,7 +377,7 @@ let watchdog ctx ~step ~t0 ~snap ~deadline =
           end)
     else begin
       Array.iteri (fun i h -> snap.(i) <- Atomic.get h) ctx.hb;
-      t0 := now ()
+      Mclock.Deadline.reset dl ~after
     end
   end
 
@@ -354,22 +387,32 @@ let gate_enter ctx ds ~step =
       g.entered.(ds.me) <- step;
       g.arrived <- g.arrived + 1;
       try_release ctx ~step);
-  let deadline = float_of_int ctx.cfg.deadline_ms /. 1000.0 in
-  let t0 = ref (now ()) in
+  let after = float_of_int ctx.cfg.deadline_ms /. 1000.0 in
+  let dl = Mclock.Deadline.arm ctx.clock ~after in
   let snap = Array.map Atomic.get ctx.hb in
   let spins = ref 0 in
-  while Atomic.get g.epoch < step && not (Atomic.get g.aborted) do
-    if help_orphan ctx ds ~step then begin
-      t0 := now ();
-      Array.iteri (fun i h -> snap.(i) <- Atomic.get h) ctx.hb;
-      spins := 0
-    end
-    else begin
-      Pool.backoff !spins;
-      incr spins;
-      watchdog ctx ~step ~t0 ~snap ~deadline
-    end
-  done;
+  let yielded = ref 0 in
+  let d0 = Trace.depth ctx.trace ds.me in
+  Trace.begin_span ctx.trace ds.me Trace.Barrier ~arg:step;
+  (try
+     while Atomic.get g.epoch < step && not (Atomic.get g.aborted) do
+       if help_orphan ctx ds ~step then begin
+         Mclock.Deadline.reset dl ~after;
+         Array.iteri (fun i h -> snap.(i) <- Atomic.get h) ctx.hb;
+         spins := 0
+       end
+       else begin
+         Pool.backoff ~yielded !spins;
+         incr spins;
+         watchdog ctx ds ~step ~dl ~snap ~after
+       end
+     done;
+     Trace.end_span ctx.trace ds.me
+   with e ->
+     Trace.unwind ctx.trace ds.me ~depth:d0;
+     Trace.add ctx.trace ds.me Trace.Backoff_yields !yielded;
+     raise e);
+  Trace.add ctx.trace ds.me Trace.Backoff_yields !yielded;
   if Atomic.get g.aborted then raise Halt
 
 let job ctx me =
@@ -377,8 +420,15 @@ let job ctx me =
   try
     for step = 1 to ctx.steps do
       ds.claims <- 0;
-      drain ctx ds ~step;
-      gate_enter ctx ds ~step
+      let d0 = Trace.depth ctx.trace me in
+      Trace.begin_span ctx.trace me Trace.Step ~arg:step;
+      (try
+         drain ctx ds ~step;
+         gate_enter ctx ds ~step;
+         Trace.end_span ctx.trace me
+       with e ->
+         Trace.unwind ctx.trace me ~depth:d0;
+         raise e)
     done
   with Retired | Halt -> ()
 
@@ -386,7 +436,7 @@ let job ctx me =
 (* Attempt driver                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let make_ctx cfg plan compiled steps (p : partitioned) ~recover ~kernels =
+let make_ctx cfg plan compiled steps (p : partitioned) ~recover ~kernels ~trace =
   let n = p.nprocs in
   let ntiles = Array.length p.tiles in
   if Array.length p.owners <> ntiles then
@@ -435,6 +485,8 @@ let make_ctx cfg plan compiled steps (p : partitioned) ~recover ~kernels =
     deques = Pool.Deques.create ~lengths:(Array.map Array.length queue_tiles);
     hb = Array.init n (fun _ -> Atomic.make 0);
     done_count = Array.init ntiles (fun _ -> Atomic.make 0);
+    clock = Mclock.create ();
+    trace;
     g =
       {
         m = Mutex.create ();
@@ -456,7 +508,7 @@ let make_ctx cfg plan compiled steps (p : partitioned) ~recover ~kernels =
   }
 
 let run_attempt cfg plan compiled steps ~partition ~size ~recover ~kernels
-    ~attempt_no ~backoff_ms ~pre_events =
+    ~trace ~attempt_no ~backoff_ms ~pre_events =
   let t0 = now () in
   let failed ?(events = pre_events) ?(tiles_total = 0) ?(reexec = 0)
       ?(retired = []) reason =
@@ -481,7 +533,7 @@ let run_attempt cfg plan compiled steps ~partition ~size ~recover ~kernels
         (Printf.sprintf "partition returned %d-way work for %d domains"
            p.nprocs size)
   | p -> (
-      match make_ctx cfg plan compiled steps p ~recover ~kernels with
+      match make_ctx cfg plan compiled steps p ~recover ~kernels ~trace with
       | exception exn ->
           failed (Printf.sprintf "bad partition: %s" (Printexc.to_string exn))
       | ctx ->
@@ -533,7 +585,8 @@ let run_attempt cfg plan compiled steps ~partition ~size ~recover ~kernels
 (* ------------------------------------------------------------------ *)
 
 let execute ?(config = default_config) ?(plan = Fault.none)
-    ?(kernels = false) ~compiled ~steps ~partition ~nprocs () =
+    ?(kernels = false) ?(trace = Trace.disabled) ~compiled ~steps ~partition
+    ~nprocs () =
   if nprocs < 1 then invalid_arg "Resilient.execute: nprocs < 1";
   if steps < 1 then invalid_arg "Resilient.execute: steps < 1";
   let kernels = if kernels then Some (Kernel.plan compiled) else None in
@@ -561,6 +614,8 @@ let execute ?(config = default_config) ?(plan = Fault.none)
         total_wall_seconds = now () -. t_job;
         checksum;
         covered_exactly_once = cover;
+        metrics =
+          (if Trace.enabled trace then Some (Trace.summary trace) else None);
       },
       buffer )
   in
@@ -595,7 +650,7 @@ let execute ?(config = default_config) ?(plan = Fault.none)
       if backoff_ms > 0 then Unix.sleepf (float_of_int backoff_ms /. 1000.0);
       let att, success =
         run_attempt config plan compiled steps ~partition ~size ~recover
-          ~kernels ~attempt_no:(next_no ()) ~backoff_ms ~pre_events
+          ~kernels ~trace ~attempt_no:(next_no ()) ~backoff_ms ~pre_events
       in
       attempts_rev := att :: !attempts_rev;
       match success with

@@ -84,6 +84,7 @@ val execute :
   ?config:config ->
   ?plan:Fault.plan ->
   ?kernels:bool ->
+  ?trace:Trace.t ->
   compiled:Exec.compiled ->
   steps:int ->
   partition:(nprocs:int -> partitioned) ->
@@ -95,5 +96,9 @@ val execute :
     with smaller counts when degrading).  With [kernels], box tiles run
     through {!Kernel}'s specialized strided loops (ragged tiles keep the
     point interpreter); recovery semantics are unchanged since the tile
-    stays the unit of completion.  Returns the structured report and the
-    final operand buffer (meaningful when [(fst r).Report.completed]). *)
+    stays the unit of completion.  With [trace], workers record tile and
+    re-execution spans, gate waits, steals, watchdog probes and fault
+    counters into it (size it for the {e initial} [nprocs]; degraded
+    attempts reuse the low domain slots), and the report carries a
+    {!Trace.summary}.  Returns the structured report and the final
+    operand buffer (meaningful when [(fst r).Report.completed]). *)

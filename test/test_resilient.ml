@@ -70,11 +70,12 @@ let test_plan_fires_once () =
   | Ok p ->
       checkb "miss on wrong site" true
         (Fault.fire p ~domain:0 ~step:1 ~claim:0 = None);
-      checkb "hit" true (Fault.fire p ~domain:1 ~step:1 ~claim:0 = Some Fault.Crash);
+      checkb "hit" true
+        (Fault.fire p ~domain:1 ~step:1 ~claim:0 = Some (0, Fault.Crash));
       checkb "consumed" true (Fault.fire p ~domain:1 ~step:1 ~claim:0 = None);
       Fault.reset p;
       checkb "re-armed" true
-        (Fault.fire p ~domain:1 ~step:1 ~claim:0 = Some Fault.Crash)
+        (Fault.fire p ~domain:1 ~step:1 ~claim:0 = Some (0, Fault.Crash))
 
 (* ------------------------------------------------------------------ *)
 (* Fault-free execution                                                *)
@@ -149,13 +150,13 @@ let test_fail_fast_fails_cleanly () =
 
 let test_stall_timed_out_then_retried () =
   let nest = stencil () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Runtime.Mclock.now () in
   let report, buffer =
     run nest ~nprocs:4 ~deadline_ms:100
       ~policy:(Resilient.Retry { attempts = 2; backoff_ms = 5 })
       ~plan:"stall:10000"
   in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Runtime.Mclock.now () -. t0 in
   checkb "completed on retry" true report.Report.completed;
   checki "two attempts" 2 (List.length report.Report.attempts);
   checki "watchdog fired once" 1 (Report.timed_out_count report);
@@ -204,6 +205,29 @@ let test_degrade_to_sequential () =
   checki "4,4,2,2,1,1,seq" 7 (List.length report.Report.attempts);
   checkb "bit-identical to sequential" true
     (buffers_equal buffer (ground_truth nest))
+
+(* Regression: a wildcard site's claim ordinal is re-dealt every
+   attempt, and degrade re-partitions re-reach it with a smaller pool -
+   the armed-flag CAS must still make each plan entry fire at most once
+   across the whole job, and each Injected event must name a distinct
+   plan entry. *)
+let test_wildcard_sites_fire_once_across_degrades () =
+  let nest = Programs.diag_accumulate ~n:16 () in
+  let plan = String.concat ";" (List.init 4 (fun _ -> "crash")) in
+  let report, _ = run nest ~nprocs:4 ~policy:Resilient.Degrade ~plan in
+  checkb "completed" true report.Report.completed;
+  let sites =
+    List.filter_map
+      (function Report.Injected { site; _ } -> Some site | _ -> None)
+      (Report.events report)
+  in
+  checki "every entry fired (enough attempts to consume the plan)" 4
+    (List.length sites);
+  checki "no entry fired twice" 4
+    (List.length (List.sort_uniq compare sites));
+  List.iter
+    (fun s -> checkb "site indexes the plan" true (s >= 0 && s < 4))
+    sites
 
 (* ------------------------------------------------------------------ *)
 (* Report serialization                                                *)
@@ -265,6 +289,8 @@ let () =
             test_accumulate_retries_whole_attempt;
           Alcotest.test_case "degrade to sequential" `Quick
             test_degrade_to_sequential;
+          Alcotest.test_case "wildcard sites fire once across degrades" `Quick
+            test_wildcard_sites_fire_once_across_degrades;
         ] );
       ( "report",
         [
